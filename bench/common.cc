@@ -1,0 +1,157 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "core/train.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+
+namespace spbench {
+
+using namespace sp;
+
+namespace {
+
+constexpr const char *kCheckpointPath = "/tmp/snowplow_eval_pmm.ckpt";
+constexpr const char *kThresholdPath =
+    "/tmp/snowplow_eval_pmm.threshold";
+
+float g_threshold = 0.5f;
+
+void
+storeThreshold(float threshold)
+{
+    g_threshold = threshold;
+    if (std::FILE *f = std::fopen(kThresholdPath, "w")) {
+        std::fprintf(f, "%f\n", threshold);
+        std::fclose(f);
+    }
+}
+
+void
+loadThreshold()
+{
+    if (std::FILE *f = std::fopen(kThresholdPath, "r")) {
+        float value = 0.5f;
+        if (std::fscanf(f, "%f", &value) == 1)
+            g_threshold = value;
+        std::fclose(f);
+    }
+}
+
+}  // namespace
+
+kern::KernelGenParams
+evalKernelParams(int evolution, const std::string &version)
+{
+    kern::KernelGenParams params;
+    params.seed = 2024;
+    params.num_syscalls = 36;
+    params.evolution = evolution;
+    params.version = version;
+    params.max_depth = 6;
+    params.deep_bugs = 14;
+    params.shallow_bugs = 6;
+    // Wider syscall interfaces and longer handlers push the per-test
+    // argument count and covered-block count toward the paper's
+    // proportions (§5.1: >60 arguments per test, covered >> program
+    // nodes) while staying single-core trainable.
+    params.min_extra_args = 5;
+    params.max_extra_args = 7;
+    params.trunk_min = 8;
+    params.trunk_max = 14;
+    params.branch_prob = 0.72;
+    return params;
+}
+
+kern::Kernel
+makeEvalKernel(const std::string &version)
+{
+    int evolution = 0;
+    if (version == "6.9")
+        evolution = 1;
+    else if (version == "6.10")
+        evolution = 2;
+    else
+        SP_ASSERT(version == "6.8", "unknown eval kernel version");
+    return kern::buildBaseKernel(evalKernelParams(evolution, version));
+}
+
+core::DatasetOptions
+evalDatasetOptions()
+{
+    core::DatasetOptions opts;
+    opts.corpus_size = 400;
+    opts.mutations_per_base = 400;
+    opts.seed = 3;
+    return opts;
+}
+
+const core::Pmm &
+sharedPmm()
+{
+    static core::Pmm model = [] {
+        core::Pmm pmm;  // default PmmConfig
+        if (nn::loadParameters(pmm, kCheckpointPath)) {
+            loadThreshold();
+            std::fprintf(stderr,
+                         "[bench] loaded shared PMM from %s "
+                         "(threshold %.2f)\n",
+                         kCheckpointPath, g_threshold);
+            return pmm;
+        }
+        std::fprintf(stderr,
+                     "[bench] training shared PMM on kernel 6.8 "
+                     "(one-time; cached at %s)\n",
+                     kCheckpointPath);
+        kern::Kernel kernel = makeEvalKernel("6.8");
+        auto dataset = core::collectDataset(kernel, evalDatasetOptions());
+        core::TrainOptions train_opts;
+        // Keep the one-time training cost bounded on a single core;
+        // the selector quality plateaus well before the full corpus.
+        train_opts.epochs = 8;
+        train_opts.max_train_examples = 2600;
+        auto history = core::trainPmm(pmm, dataset, train_opts);
+        storeThreshold(history.best_threshold);
+        nn::saveParameters(pmm, kCheckpointPath);
+        std::fprintf(stderr,
+                     "[bench] trained: valid F1 %.3f, threshold %.2f\n",
+                     history.best_valid.f1, history.best_threshold);
+        return pmm;
+    }();
+    return model;
+}
+
+fuzz::FuzzOptions
+evalFuzzOptions(uint64_t budget, uint64_t seed)
+{
+    fuzz::FuzzOptions opts;
+    opts.exec_budget = budget;
+    opts.seed = seed;
+    opts.seed_corpus_size = 40;
+    opts.checkpoint_every = kHourInExecs / 2;
+    return opts;
+}
+
+float
+sharedPmmThreshold()
+{
+    return g_threshold;
+}
+
+core::SnowplowOptions
+evalSnowplowOptions()
+{
+    core::SnowplowOptions opts;
+    opts.threshold = sharedPmmThreshold();
+    return opts;
+}
+
+double
+toHours(uint64_t execs)
+{
+    return static_cast<double>(execs) /
+           static_cast<double>(kHourInExecs);
+}
+
+}  // namespace spbench

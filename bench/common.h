@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared infrastructure for the evaluation benchmarks.
+ *
+ * Every bench binary reproduces one table or figure of the paper
+ * against the same evaluation setup: the base kernel ("6.8") plus its
+ * evolved versions ("6.9", "6.10"), and one PMM trained once on 6.8
+ * data and cached on disk so the whole suite shares the training cost
+ * — exactly the paper's amortization argument (§6, Return on
+ * Investment).
+ *
+ * Virtual time: 1 executed test = 1 time unit. The constant
+ * kHourInExecs maps the paper's wall-clock axes onto execution counts
+ * so benches can print "hours".
+ */
+#ifndef SP_BENCH_COMMON_H
+#define SP_BENCH_COMMON_H
+
+#include <string>
+
+#include "core/dataset.h"
+#include "core/pmm.h"
+#include "core/snowplow.h"
+#include "kernel/subsystems.h"
+
+namespace spbench {
+
+/** Executions standing in for one hour of machine_fuzz time. */
+constexpr uint64_t kHourInExecs = 1250;
+
+/** Executions in the 24-hour coverage experiments (Fig. 6). */
+constexpr uint64_t kDayInExecs = 24 * kHourInExecs;
+
+/** Kernel-generation parameters of the evaluation kernels. */
+sp::kern::KernelGenParams evalKernelParams(int evolution,
+                                           const std::string &version);
+
+/** The evaluation kernel for one version ("6.8", "6.9", "6.10"). */
+sp::kern::Kernel makeEvalKernel(const std::string &version);
+
+/** Dataset options used to train the shared evaluation model. */
+sp::core::DatasetOptions evalDatasetOptions();
+
+/**
+ * The shared PMM, trained on kernel 6.8 data. The first call trains
+ * the model (a few minutes) and writes a checkpoint next to /tmp; later
+ * calls (and later bench binaries) load it.
+ */
+const sp::core::Pmm &sharedPmm();
+
+/** Decision threshold tuned on the validation split alongside the
+ *  shared model (persisted next to its checkpoint). */
+float sharedPmmThreshold();
+
+/** SnowplowOptions preloaded with the tuned threshold. */
+sp::core::SnowplowOptions evalSnowplowOptions();
+
+/** Fuzzing options for one evaluation run. */
+sp::fuzz::FuzzOptions evalFuzzOptions(uint64_t budget, uint64_t seed);
+
+/** Convert an execution count to virtual hours. */
+double toHours(uint64_t execs);
+
+}  // namespace spbench
+
+#endif  // SP_BENCH_COMMON_H

@@ -1,0 +1,74 @@
+// Extension bench (paper §6, Discussion): call-insertion localization.
+//
+// The paper claims the PMM methodology "will readily generalize to a
+// number of other mutation types", naming system-call insertion
+// localization (no representational change) and insertion
+// instantiation (predicting a syscall variant — "a minimal change in
+// the architecture"). This bench implements and measures both claims:
+// a two-headed model on the PMM backbone learns (a) after which call
+// to insert and (b) which syscall variant to insert, compared against
+// random choice.
+//
+// Expected shape: both heads beat random choice by large factors,
+// supporting the paper's generalization claim.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/insertion.h"
+#include "util/stats.h"
+
+int
+main()
+{
+    using namespace sp;
+    std::printf("=== Extension (paper SS6): call-insertion localization "
+                "===\n\n");
+
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+    core::InsertionDatasetOptions opts;
+    opts.corpus_size = 150;
+    opts.insertions_per_base = 120;
+    auto dataset = core::collectInsertionDataset(kernel, opts);
+    std::printf("dataset: %zu bases, %zu successful insertions, "
+                "%zu/%zu train/eval examples\n\n",
+                dataset.bases.size(), dataset.successful_insertions,
+                dataset.train.size(), dataset.eval.size());
+    if (dataset.train.empty() || dataset.eval.empty()) {
+        std::printf("insufficient data; skipping\n");
+        return 0;
+    }
+
+    core::PmmConfig config;
+    config.gnn_layers = 2;  // the insertion task needs less context
+    core::InsertionModel model(config);
+    core::InsertionTrainOptions train_opts;
+    train_opts.epochs = 6;
+    auto learned = core::trainInsertionModel(model, dataset, train_opts);
+    auto random = core::evaluateRandomInsertion(dataset, dataset.eval,
+                                                0xabc);
+
+    auto pct = [](double v) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * v);
+        return std::string(buf);
+    };
+    std::printf("%s\n",
+                formatTable({"Selector", "Position acc.",
+                             "Variant top-1", "Variant top-5"},
+                            {{"PMM (insertion heads)",
+                              pct(learned.position_f1),
+                              pct(learned.variant_top1),
+                              pct(learned.variant_top5)},
+                             {"Random", pct(random.position_f1),
+                              pct(random.variant_top1),
+                              pct(random.variant_top5)}})
+                    .c_str());
+    std::printf("shape check: learned >> random on both subtasks -> "
+                "%s\n",
+                (learned.position_f1 > 2 * random.position_f1 &&
+                 learned.variant_top1 > 2 * random.variant_top1)
+                    ? "HOLDS"
+                    : "CHECK");
+    return 0;
+}

@@ -1,0 +1,20 @@
+#include <cstdio>
+#include "bench/common.h"
+int main() {
+    using namespace sp;
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+    std::printf("kernel: %zu blocks, %zu static edges, %zu bugs\n",
+                kernel.blocks().size(), kernel.staticEdges().size(), kernel.bugs().size());
+    int d[8] = {};
+    for (auto& b : kernel.bugs()) if (!b.known) d[kernel.block(b.block).depth]++;
+    std::printf("new bug depths: d2=%d d3=%d d4=%d d5+=%d\n", d[2], d[3], d[4], d[5]+d[6]);
+    for (uint64_t seed : {101ull, 202ull}) {
+        auto opts = spbench::evalFuzzOptions(42000, seed);
+        auto fuzzer = core::makeSyzkallerFuzzer(kernel, opts);
+        auto r = fuzzer->run();
+        std::printf("syzkaller 42k seed %llu: edges=%zu/%zu new=%zu known=%zu\n",
+            (unsigned long long)seed, r.final_edges, kernel.staticEdges().size(),
+            fuzzer->crashes().newCrashes(), fuzzer->crashes().knownCrashes());
+    }
+    return 0;
+}

@@ -1,0 +1,34 @@
+// Dev calibration probe: Snowplow vs Syzkaller head-to-head on the
+// evaluation kernel — coverage and crash counts at the Table-2 budget,
+// plus the per-mutation localizer quality ladder. Used to validate the
+// evaluation-kernel difficulty before running the full suite; not part
+// of the reproduction tables.
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace sp;
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+    const auto &model = spbench::sharedPmm();
+
+    for (uint64_t seed : {101ull, 202ull}) {
+        auto opts = spbench::evalFuzzOptions(42000, seed);
+        auto snow = core::makeSnowplowFuzzer(
+            kernel, model, opts, spbench::evalSnowplowOptions());
+        auto rs = snow->run();
+        auto syz = core::makeSyzkallerFuzzer(kernel, opts);
+        auto rb = syz->run();
+        std::printf("seed %llu: snowplow edges=%zu new=%zu known=%zu | "
+                    "syzkaller edges=%zu new=%zu known=%zu\n",
+                    static_cast<unsigned long long>(seed),
+                    rs.final_edges, snow->crashes().newCrashes(),
+                    snow->crashes().knownCrashes(), rb.final_edges,
+                    syz->crashes().newCrashes(),
+                    syz->crashes().knownCrashes());
+    }
+    return 0;
+}

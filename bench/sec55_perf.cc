@@ -1,0 +1,151 @@
+// Reproduces the §5.5 performance characteristics with
+// google-benchmark micro-benchmarks:
+//
+//  - PMM inference latency per mutation query (paper: 0.69 s mean on
+//    an L4 GPU box for graphs ~10x larger);
+//  - inference service saturation throughput, sweeping worker counts
+//    (paper: ~57 QPS at saturation on 8 GPUs);
+//  - end-to-end fuzzing throughput of Snowplow vs Syzkaller (paper:
+//    383 vs 390 tests/second — near parity, because inference is
+//    asynchronous and off the critical path).
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+
+#include "bench/common.h"
+#include "core/infer.h"
+#include "exec/executor.h"
+#include "prog/gen.h"
+
+namespace {
+
+using namespace sp;
+
+struct PerfFixtures
+{
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+    std::vector<graph::EncodedGraph> queries;
+
+    PerfFixtures()
+    {
+        Rng rng(5);
+        exec::Executor executor(kernel);
+        for (int i = 0; i < 32; ++i) {
+            auto program = prog::generateProg(rng, kernel.table());
+            auto result = executor.run(program);
+            auto frontier = graph::alternativeFrontier(kernel,
+                                                       result.coverage);
+            auto query = graph::buildQueryGraph(kernel, program, result,
+                                                frontier);
+            if (!query.argument_nodes.empty())
+                queries.push_back(graph::encodeGraph(kernel, query));
+        }
+    }
+};
+
+PerfFixtures &
+fixtures()
+{
+    static PerfFixtures fx;
+    return fx;
+}
+
+void
+BM_PmmInferenceLatency(benchmark::State &state)
+{
+    const auto &model = spbench::sharedPmm();
+    const auto &queries = fixtures().queries;
+    size_t i = 0;
+    for (auto _ : state) {
+        auto probs = model.predict(queries[i++ % queries.size()]);
+        benchmark::DoNotOptimize(probs);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PmmInferenceLatency)->Unit(benchmark::kMillisecond);
+
+void
+BM_InferenceServiceThroughput(benchmark::State &state)
+{
+    const auto &model = spbench::sharedPmm();
+    const auto &queries = fixtures().queries;
+    core::InferenceService service(
+        model, static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::vector<std::future<std::vector<float>>> futures;
+        futures.reserve(16);
+        for (int i = 0; i < 16; ++i) {
+            futures.push_back(service.submit(
+                queries[static_cast<size_t>(i) % queries.size()]));
+        }
+        for (auto &future : futures)
+            benchmark::DoNotOptimize(future.get());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 16);
+    const auto stats = service.stats();
+    state.counters["mean_latency_ms"] = stats.mean_latency_us / 1000.0;
+    state.counters["p99_latency_ms"] = stats.p99_latency_us / 1000.0;
+}
+BENCHMARK(BM_InferenceServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_FuzzThroughputSyzkaller(benchmark::State &state)
+{
+    const auto &kernel = fixtures().kernel;
+    for (auto _ : state) {
+        auto opts = spbench::evalFuzzOptions(4000, 9);
+        auto fuzzer = core::makeSyzkallerFuzzer(kernel, opts);
+        auto report = fuzzer->run();
+        benchmark::DoNotOptimize(report.final_edges);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK(BM_FuzzThroughputSyzkaller)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_FuzzThroughputSnowplow(benchmark::State &state)
+{
+    const auto &kernel = fixtures().kernel;
+    const auto &model = spbench::sharedPmm();
+    for (auto _ : state) {
+        auto opts = spbench::evalFuzzOptions(4000, 9);
+        auto fuzzer = core::makeSnowplowFuzzer(
+            kernel, model, opts, spbench::evalSnowplowOptions());
+        auto report = fuzzer->run();
+        benchmark::DoNotOptimize(report.final_edges);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 4000);
+}
+BENCHMARK(BM_FuzzThroughputSnowplow)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void
+BM_ExecutorRawThroughput(benchmark::State &state)
+{
+    const auto &kernel = fixtures().kernel;
+    Rng rng(11);
+    auto corpus = prog::generateCorpus(rng, kernel.table(), 64);
+    exec::Executor executor(kernel);
+    size_t i = 0;
+    for (auto _ : state) {
+        auto result = executor.run(corpus[i++ % corpus.size()]);
+        benchmark::DoNotOptimize(result.coverage.edgeCount());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExecutorRawThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,247 @@
+// snowplow_cli — a single driver over the library's public API.
+//
+//   snowplow_cli kernel-stats [--seed N] [--version V] [--evolution E]
+//       Print the simulated kernel's structure (syscalls, blocks,
+//       edges, bug sites).
+//
+//   snowplow_cli fuzz [--budget N] [--seed N] [--pmm CKPT]
+//       Run a fuzzing campaign (Snowplow when --pmm points at a
+//       trained checkpoint, Syzkaller baseline otherwise) and print
+//       the coverage timeline and crash summary.
+//
+//   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
+//                      [--out CKPT]
+//       Collect a mutation dataset and train a PMM.
+//
+//   snowplow_cli directed --target BLOCK [--pmm CKPT] [--budget N]
+//       Directed campaign toward one block, baseline vs Snowplow-D.
+//
+//   snowplow_cli corpus [--count N] [--seed N]
+//       Generate a corpus and print it in the Syzlang-like syntax
+//       (round-trips through the parser as a self-check).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/directed.h"
+#include "core/snowplow.h"
+#include "core/train.h"
+#include "kernel/subsystems.h"
+#include "nn/serialize.h"
+#include "prog/serialize.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace sp;
+
+/** Minimal --flag value parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv)
+    {
+        for (int i = 2; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) == 0)
+                values_[argv[i] + 2] = argv[i + 1];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+
+    uint64_t
+    getU64(const std::string &key, uint64_t fallback) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end()
+                   ? fallback
+                   : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+kern::Kernel
+makeKernel(const Args &args)
+{
+    kern::KernelGenParams params;
+    params.seed = args.getU64("seed", 2024);
+    params.version = args.get("version", "6.8");
+    params.evolution = static_cast<int>(args.getU64("evolution", 0));
+    return kern::buildBaseKernel(params);
+}
+
+int
+cmdKernelStats(const Args &args)
+{
+    auto kernel = makeKernel(args);
+    std::printf("kernel %s\n", kernel.version().c_str());
+    std::printf("  syscalls      : %zu\n", kernel.table().decls.size());
+    std::printf("  basic blocks  : %zu\n", kernel.blocks().size());
+    std::printf("  static edges  : %zu\n", kernel.staticEdges().size());
+    std::printf("  resource kinds: %zu\n", kernel.resourceKinds().size());
+    std::printf("  state flags   : %u\n", kernel.numFlags());
+    std::printf("  bug sites     : %zu\n", kernel.bugs().size());
+    for (const auto &bug : kernel.bugs()) {
+        std::printf("    [%s%s] depth %u  %s (%s)\n",
+                    bug.known ? "known" : "new",
+                    bug.flaky ? ",flaky" : "",
+                    kernel.block(bug.block).depth,
+                    bug.description.c_str(), bug.location.c_str());
+    }
+    return 0;
+}
+
+int
+cmdFuzz(const Args &args)
+{
+    auto kernel = makeKernel(args);
+    fuzz::FuzzOptions opts;
+    opts.exec_budget = args.getU64("budget", 30000);
+    opts.seed = args.getU64("seed", 1);
+    opts.checkpoint_every = std::max<uint64_t>(1, opts.exec_budget / 12);
+
+    core::Pmm model;
+    const std::string ckpt = args.get("pmm", "");
+    const bool snowplow = !ckpt.empty() &&
+                          nn::loadParameters(model, ckpt);
+    std::printf("%s campaign, budget %llu\n",
+                snowplow ? "Snowplow" : "Syzkaller (baseline)",
+                static_cast<unsigned long long>(opts.exec_budget));
+
+    auto fuzzer = snowplow
+                      ? core::makeSnowplowFuzzer(kernel, model, opts)
+                      : core::makeSyzkallerFuzzer(kernel, opts);
+    auto report = fuzzer->run();
+    for (const auto &cp : report.timeline) {
+        std::printf("  execs %8llu  edges %6zu  blocks %6zu  "
+                    "crashes %3zu\n",
+                    static_cast<unsigned long long>(cp.execs), cp.edges,
+                    cp.blocks, cp.crashes);
+    }
+    fuzzer->crashes().reproduceAll();
+    std::printf("final: %zu edges, %zu crashes (%zu new, %zu with "
+                "reproducer)\n",
+                report.final_edges, fuzzer->crashes().uniqueCrashes(),
+                fuzzer->crashes().newCrashes(),
+                fuzzer->crashes().reproducedCrashes());
+    return 0;
+}
+
+int
+cmdTrain(const Args &args)
+{
+    auto kernel = makeKernel(args);
+    core::DatasetOptions data_opts;
+    data_opts.corpus_size = args.getU64("corpus", 300);
+    data_opts.mutations_per_base = args.getU64("mutations", 300);
+    core::TrainOptions train_opts;
+    train_opts.epochs = static_cast<int>(args.getU64("epochs", 12));
+    train_opts.verbose = true;
+    setLogLevel(LogLevel::Info);
+
+    auto dataset = core::collectDataset(kernel, data_opts);
+    std::printf("dataset: %zu/%zu/%zu examples\n", dataset.train.size(),
+                dataset.valid.size(), dataset.eval.size());
+    core::Pmm model;
+    auto history = core::trainPmm(model, dataset, train_opts);
+    auto metrics = core::evaluatePmm(model, dataset, dataset.eval,
+                                     history.best_threshold);
+    std::printf("eval: F1 %.3f  P %.3f  R %.3f  J %.3f  "
+                "(threshold %.2f)\n",
+                metrics.f1, metrics.precision, metrics.recall,
+                metrics.jaccard, history.best_threshold);
+    const std::string out = args.get("out", "/tmp/pmm.ckpt");
+    nn::saveParameters(model, out);
+    std::printf("saved %s\n", out.c_str());
+    return 0;
+}
+
+int
+cmdDirected(const Args &args)
+{
+    auto kernel = makeKernel(args);
+    core::DirectedOptions opts;
+    opts.target_block =
+        static_cast<uint32_t>(args.getU64("target", ~0ull));
+    if (opts.target_block >= kernel.blocks().size())
+        SP_FATAL("--target must name a block (< %zu)",
+                 kernel.blocks().size());
+    opts.exec_budget = args.getU64("budget", 30000);
+    opts.seed = args.getU64("seed", 1);
+
+    auto baseline = core::runSyzDirect(kernel, opts);
+    std::printf("SyzDirect : %s (%llu execs)\n",
+                baseline.reached ? "reached" : "NOT reached",
+                static_cast<unsigned long long>(
+                    baseline.reached ? baseline.execs_to_reach
+                                     : baseline.execs_total));
+    core::Pmm model;
+    if (nn::loadParameters(model, args.get("pmm", "/tmp/pmm.ckpt"))) {
+        auto learned = core::runSnowplowD(kernel, model, opts);
+        std::printf("Snowplow-D: %s (%llu execs)\n",
+                    learned.reached ? "reached" : "NOT reached",
+                    static_cast<unsigned long long>(
+                        learned.reached ? learned.execs_to_reach
+                                        : learned.execs_total));
+    } else {
+        std::printf("Snowplow-D: skipped (no checkpoint; run "
+                    "`snowplow_cli train` first)\n");
+    }
+    return 0;
+}
+
+int
+cmdCorpus(const Args &args)
+{
+    auto kernel = makeKernel(args);
+    Rng rng(args.getU64("seed", 1));
+    auto corpus = prog::generateCorpus(
+        rng, kernel.table(), args.getU64("count", 5));
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        const std::string text = prog::formatProg(corpus[i]);
+        // Self-check: everything we print must parse back.
+        auto parsed = prog::parseProg(text, kernel.table());
+        SP_ASSERT(parsed.ok() && corpus[i].equals(*parsed.prog),
+                  "corpus round-trip failed");
+        std::printf("# prog %zu\n%s\n", i, text.c_str());
+    }
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: snowplow_cli "
+                     "<kernel-stats|fuzz|train|directed|corpus> "
+                     "[--flag value]...\n");
+        return 2;
+    }
+    const Args args(argc, argv);
+    const std::string command = argv[1];
+    if (command == "kernel-stats")
+        return cmdKernelStats(args);
+    if (command == "fuzz")
+        return cmdFuzz(args);
+    if (command == "train")
+        return cmdTrain(args);
+    if (command == "directed")
+        return cmdDirected(args);
+    if (command == "corpus")
+        return cmdCorpus(args);
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
+}

@@ -1,0 +1,266 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mutate/mutator.h"
+#include "prog/flatten.h"
+#include "prog/gen.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sp::core {
+
+namespace {
+
+/** Key identifying a mutation site for grouping. */
+uint64_t
+siteKey(const mut::ArgLocation &loc)
+{
+    uint64_t h = hashU64(loc.call_index + 1);
+    for (uint16_t step : loc.point.path)
+        h = hashCombine(h, step + 1);
+    return h;
+}
+
+/** Key of a sorted new-coverage block set. */
+uint64_t
+coverageKey(const std::vector<uint32_t> &blocks)
+{
+    uint64_t h = 0x1234;
+    for (uint32_t b : blocks)
+        h = hashCombine(h, b);
+    return h;
+}
+
+}  // namespace
+
+Dataset
+collectDataset(const kern::Kernel &kernel, const DatasetOptions &opts)
+{
+    Dataset dataset;
+    dataset.kernel = &kernel;
+    Rng rng(opts.seed);
+
+    // --- Seed corpus, executed deterministically -----------------------
+    auto corpus = prog::generateCorpus(rng, kernel.table(),
+                                       opts.corpus_size);
+    exec::Executor executor(kernel);  // deterministic mode
+    size_t args_total = 0;
+    for (auto &base : corpus) {
+        auto result = executor.run(base);
+        if (result.crashed)
+            continue;  // crashed bases are excluded (§5.1)
+        args_total += prog::countMutableArgs(base);
+        dataset.bases.push_back(std::move(base));
+        dataset.base_results.push_back(std::move(result));
+    }
+    if (dataset.bases.empty()) {
+        SP_WARN("dataset collection: every base crashed");
+        return dataset;
+    }
+    dataset.stats.mean_args_per_test =
+        static_cast<double>(args_total) /
+        static_cast<double>(dataset.bases.size());
+
+    // --- Random mutation campaign per base ------------------------------
+    mut::Mutator mutator(kernel.table());
+    mut::RandomLocalizer random_localizer;
+
+    // Per base: groups of sites keyed by identical new coverage.
+    struct SuccessGroup
+    {
+        std::vector<uint32_t> new_blocks;
+        std::vector<mut::ArgLocation> sites;
+        std::unordered_set<uint64_t> site_keys;
+    };
+
+    std::vector<RawExample> all_examples;
+    double frontier_total = 0.0;
+    size_t successful_total = 0;
+
+    for (size_t bi = 0; bi < dataset.bases.size(); ++bi) {
+        const prog::Prog &base = dataset.bases[bi];
+        const exec::ExecResult &base_result = dataset.base_results[bi];
+        const auto frontier =
+            graph::alternativeFrontier(kernel, base_result.coverage);
+        frontier_total += static_cast<double>(frontier.size());
+        if (frontier.empty() || frontier.size() > opts.max_frontier)
+            continue;
+        const std::unordered_set<uint32_t> frontier_set(frontier.begin(),
+                                                        frontier.end());
+
+        std::map<uint64_t, SuccessGroup> groups;
+        for (size_t m = 0; m < opts.mutations_per_base; ++m) {
+            auto sites = random_localizer.localize(base, rng, 1);
+            if (sites.empty())
+                break;
+            prog::Prog mutant;
+            mutant.calls = base.calls;
+            if (!mutator.instantiateArgMutation(mutant, sites[0], rng))
+                continue;
+            auto result = executor.run(mutant);
+            auto new_blocks =
+                base_result.coverage.newBlocks(result.coverage);
+            if (new_blocks.empty())
+                continue;
+            ++successful_total;
+            std::sort(new_blocks.begin(), new_blocks.end());
+            auto &group = groups[coverageKey(new_blocks)];
+            if (group.new_blocks.empty())
+                group.new_blocks = std::move(new_blocks);
+            if (group.site_keys.insert(siteKey(sites[0])).second)
+                group.sites.push_back(std::move(sites[0]));
+        }
+
+        // --- Build examples with option-(c) noisy targets ---------------
+        // Fraction of the noisy frontier sampled into the target set
+        // (-1 = a single reached block). Small fractions dominate:
+        // near-full target sets from different success groups of one
+        // base collide into identical inputs with conflicting labels,
+        // which only injects irreducible label noise.
+        static const double kFractions[] = {-1.0, -1.0, 0.25, 0.25, 0.5};
+        for (auto &[key, group] : groups) {
+            (void)key;
+            // Reached frontier blocks: new blocks one hop from c_i.
+            std::vector<uint32_t> reached;
+            for (uint32_t b : group.new_blocks)
+                if (frontier_set.count(b))
+                    reached.push_back(b);
+            if (reached.empty())
+                continue;
+
+            for (size_t variant = 0; variant < opts.variants_per_group;
+                 ++variant) {
+                RawExample example;
+                example.base_index = static_cast<uint32_t>(bi);
+                example.mutate_sites = group.sites;
+
+                const double fraction =
+                    kFractions[rng.below(sizeof(kFractions) /
+                                         sizeof(kFractions[0]))];
+                std::unordered_set<uint32_t> targets;
+                // Always keep at least one truly-reached block.
+                targets.insert(reached[rng.below(reached.size())]);
+                if (fraction > 0.0) {
+                    for (uint32_t b : frontier) {
+                        if (rng.chance(fraction))
+                            targets.insert(b);
+                    }
+                    for (uint32_t b : reached) {
+                        if (rng.chance(fraction))
+                            targets.insert(b);
+                    }
+                }
+                example.targets.assign(targets.begin(), targets.end());
+                std::sort(example.targets.begin(),
+                          example.targets.end());
+                all_examples.push_back(std::move(example));
+            }
+        }
+    }
+    dataset.stats.mean_frontier_size =
+        frontier_total / static_cast<double>(dataset.bases.size());
+    dataset.stats.total_successful_mutations = successful_total;
+    dataset.stats.mean_successful_mutations_per_base =
+        static_cast<double>(successful_total) /
+        static_cast<double>(dataset.bases.size());
+
+    // --- Popularity cap ---------------------------------------------------
+    {
+        std::unordered_map<uint32_t, size_t> popularity;
+        std::vector<RawExample> kept;
+        kept.reserve(all_examples.size());
+        // Shuffle so the cap does not systematically favor early bases.
+        for (size_t i = all_examples.size(); i > 1; --i) {
+            std::swap(all_examples[i - 1],
+                      all_examples[rng.below(i)]);
+        }
+        for (auto &example : all_examples) {
+            bool over = false;
+            for (uint32_t b : example.targets)
+                over |= (popularity[b] >= opts.popularity_cap);
+            if (over) {
+                ++dataset.stats.discarded_by_popularity;
+                continue;
+            }
+            for (uint32_t b : example.targets)
+                ++popularity[b];
+            kept.push_back(std::move(example));
+        }
+        all_examples = std::move(kept);
+    }
+
+    double target_total = 0.0;
+    for (const auto &example : all_examples)
+        target_total += static_cast<double>(example.targets.size());
+    dataset.stats.mean_target_set_size =
+        all_examples.empty()
+            ? 0.0
+            : target_total / static_cast<double>(all_examples.size());
+
+    // --- Split by base test ----------------------------------------------
+    std::vector<uint8_t> split_of_base(dataset.bases.size());
+    for (auto &split : split_of_base) {
+        const double roll = rng.uniform();
+        const double valid_cut =
+            opts.train_fraction + (1.0 - opts.train_fraction) / 2.0;
+        split = roll < opts.train_fraction ? 0
+                : roll < valid_cut         ? 1
+                                           : 2;
+    }
+    for (auto &example : all_examples) {
+        switch (split_of_base[example.base_index]) {
+          case 0:
+            dataset.train.push_back(std::move(example));
+            break;
+          case 1:
+            dataset.valid.push_back(std::move(example));
+            break;
+          default:
+            dataset.eval.push_back(std::move(example));
+            break;
+        }
+    }
+    return dataset;
+}
+
+std::pair<graph::EncodedGraph, std::vector<float>>
+materializeExample(const Dataset &dataset, const RawExample &example)
+{
+    SP_ASSERT(dataset.kernel != nullptr);
+    SP_ASSERT(example.base_index < dataset.bases.size());
+    const auto &base = dataset.bases[example.base_index];
+    const auto &result = dataset.base_results[example.base_index];
+
+    auto query = graph::buildQueryGraph(*dataset.kernel, base, result,
+                                        example.targets);
+    std::vector<float> labels(query.argument_nodes.size(), 0.0f);
+    for (size_t i = 0; i < query.argument_locations.size(); ++i) {
+        for (const auto &site : example.mutate_sites) {
+            if (query.argument_locations[i].call_index ==
+                    site.call_index &&
+                query.argument_locations[i].point.path ==
+                    site.point.path) {
+                labels[i] = 1.0f;
+            }
+        }
+    }
+    return {graph::encodeGraph(*dataset.kernel, query),
+            std::move(labels)};
+}
+
+double
+meanSitesPerExample(const std::vector<RawExample> &split)
+{
+    if (split.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &example : split)
+        total += static_cast<double>(example.mutate_sites.size());
+    return total / static_cast<double>(split.size());
+}
+
+}  // namespace sp::core

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Mutation-dataset generation (paper §3.1).
+ *
+ * From a seed corpus, every base test is executed deterministically
+ * (VM-snapshot discipline: same initial state, sequential calls, no
+ * interrupt noise) to obtain its coverage c_i, then mutated many times
+ * with the baseline random argument localizer. Every mutant whose
+ * coverage contains blocks outside c_i yields a *successful mutation*
+ * sample ⟨s_i, c_i, a_ij, c_ij \ c_i⟩; mutations of the same base that
+ * discover the same new blocks are merged into one sample with several
+ * MUTATE arguments.
+ *
+ * Training examples invert the direction (§3.1 option (c)): the target
+ * set is drawn from the one-hop alternative frontier of c_i — the
+ * frontier blocks the mutation actually reached, mixed with sampled
+ * *distractor* frontier blocks at 1, 25, 50, 75 or 100% of the
+ * frontier, always keeping at least one truly-reached block. Examples
+ * whose targets are over-represented across the dataset are discarded
+ * (the popularity cap). Splits are by base test: every example of one
+ * base lands in exactly one of train/valid/eval.
+ */
+#ifndef SP_CORE_DATASET_H
+#define SP_CORE_DATASET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "graph/encode.h"
+#include "graph/query_graph.h"
+#include "kernel/kernel.h"
+#include "mutate/localizer.h"
+#include "prog/value.h"
+
+namespace sp::core {
+
+/** Dataset-collection knobs. */
+struct DatasetOptions
+{
+    size_t corpus_size = 250;          ///< seed corpus bases
+    size_t mutations_per_base = 300;   ///< random mutations per base
+    size_t popularity_cap = 400;       ///< max examples per target block
+    /** Noisy-target variants generated per successful-mutation group. */
+    size_t variants_per_group = 3;
+    uint64_t seed = 1;
+    double train_fraction = 0.8;       ///< remainder split evenly
+    /** Skip bases whose frontier is larger than this (degenerate). */
+    size_t max_frontier = 512;
+};
+
+/** One training example, stored compactly (graph built on demand). */
+struct RawExample
+{
+    uint32_t base_index = 0;
+    std::vector<uint32_t> targets;            ///< desired blocks
+    std::vector<mut::ArgLocation> mutate_sites;  ///< ground truth
+};
+
+/** Collected corpus statistics (paper §5.1). */
+struct DatasetStats
+{
+    double mean_args_per_test = 0.0;
+    double mean_successful_mutations_per_base = 0.0;
+    double mean_frontier_size = 0.0;
+    double mean_target_set_size = 0.0;
+    size_t total_successful_mutations = 0;
+    size_t discarded_by_popularity = 0;
+};
+
+/** The assembled dataset. */
+struct Dataset
+{
+    const kern::Kernel *kernel = nullptr;
+    std::vector<prog::Prog> bases;
+    std::vector<exec::ExecResult> base_results;
+    std::vector<RawExample> train;
+    std::vector<RawExample> valid;
+    std::vector<RawExample> eval;
+    DatasetStats stats;
+};
+
+/** Run the §3.1 pipeline against `kernel`. */
+Dataset collectDataset(const kern::Kernel &kernel,
+                       const DatasetOptions &opts);
+
+/**
+ * Materialize one example: build the query graph of its base with the
+ * example's targets marked, encode it, and emit the per-argument-node
+ * MUTATE labels (1.0 on ground-truth sites).
+ */
+std::pair<graph::EncodedGraph, std::vector<float>>
+materializeExample(const Dataset &dataset, const RawExample &example);
+
+/** Mean number of ground-truth MUTATE sites over a split. */
+double meanSitesPerExample(const std::vector<RawExample> &split);
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_DATASET_H

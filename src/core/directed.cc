@@ -1,0 +1,112 @@
+#include "core/directed.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace sp::core {
+
+std::vector<uint32_t>
+distanceToBlock(const kern::Kernel &kernel, uint32_t target)
+{
+    constexpr uint32_t kUnreachable = ~0u;
+    std::vector<uint32_t> dist(kernel.blocks().size(), kUnreachable);
+    SP_ASSERT(target < kernel.blocks().size());
+
+    // Predecessor lists from the static CFG.
+    std::vector<std::vector<uint32_t>> preds(kernel.blocks().size());
+    for (auto [from, to] : kernel.staticEdges())
+        preds[to].push_back(from);
+
+    std::deque<uint32_t> queue;
+    dist[target] = 0;
+    queue.push_back(target);
+    while (!queue.empty()) {
+        const uint32_t block = queue.front();
+        queue.pop_front();
+        for (uint32_t pred : preds[block]) {
+            if (dist[pred] == kUnreachable) {
+                dist[pred] = dist[block] + 1;
+                queue.push_back(pred);
+            }
+        }
+    }
+    return dist;
+}
+
+namespace {
+
+/** Build the distance-guided choose_test hook. */
+std::function<const fuzz::CorpusEntry &(const fuzz::Corpus &, Rng &)>
+distanceChooser(std::vector<uint32_t> distances)
+{
+    return [distances = std::move(distances)](
+               const fuzz::Corpus &corpus,
+               Rng &rng) -> const fuzz::CorpusEntry & {
+        SP_ASSERT(!corpus.empty());
+        std::vector<double> weights(corpus.size());
+        for (size_t i = 0; i < corpus.size(); ++i) {
+            uint32_t best = ~0u;
+            for (uint32_t block :
+                 corpus.entry(i).result.coverage.blocks()) {
+                if (block < distances.size())
+                    best = std::min(best, distances[block]);
+            }
+            // Entries at the frontier of the target dominate; entries
+            // that cannot reach it at all keep a small exploration mass.
+            weights[i] = best == ~0u
+                             ? 0.05
+                             : 1.0 / (1.0 + static_cast<double>(best) *
+                                                static_cast<double>(best));
+        }
+        return corpus.entry(rng.weightedIndex(weights));
+    };
+}
+
+DirectedResult
+runDirected(const kern::Kernel &kernel, const DirectedOptions &opts,
+            std::unique_ptr<mut::Localizer> localizer)
+{
+    fuzz::FuzzOptions fuzz_opts = opts.fuzz;
+    fuzz_opts.exec_budget = opts.exec_budget;
+    fuzz_opts.seed = opts.seed;
+    fuzz_opts.choose_test = distanceChooser(
+        distanceToBlock(kernel, opts.target_block));
+
+    fuzz::Fuzzer fuzzer(kernel, std::move(fuzz_opts),
+                        std::move(localizer));
+    const uint32_t target = opts.target_block;
+    auto report = fuzzer.runUntil([target](const fuzz::Fuzzer &f) {
+        return f.corpus().totalCoverage().containsBlock(target);
+    });
+
+    DirectedResult result;
+    result.reached =
+        fuzzer.corpus().totalCoverage().containsBlock(target);
+    result.execs_total = report.execs;
+    result.execs_to_reach = result.reached ? report.execs : 0;
+    return result;
+}
+
+}  // namespace
+
+DirectedResult
+runSyzDirect(const kern::Kernel &kernel, const DirectedOptions &opts)
+{
+    return runDirected(kernel, opts,
+                       std::make_unique<mut::RandomLocalizer>());
+}
+
+DirectedResult
+runSnowplowD(const kern::Kernel &kernel, const Pmm &model,
+             const DirectedOptions &opts)
+{
+    SnowplowOptions snowplow_opts;
+    snowplow_opts.directed_targets = {opts.target_block};
+    auto localizer = std::make_unique<PmmLocalizer>(kernel, model,
+                                                    std::move(snowplow_opts));
+    return runDirected(kernel, opts, std::move(localizer));
+}
+
+}  // namespace sp::core

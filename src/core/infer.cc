@@ -1,0 +1,96 @@
+#include "core/infer.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace sp::core {
+
+InferenceService::InferenceService(const Pmm &model, size_t workers)
+    : model_(model)
+{
+    SP_ASSERT(workers >= 1);
+    workers_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+InferenceService::~InferenceService()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::future<std::vector<float>>
+InferenceService::submit(graph::EncodedGraph graph)
+{
+    Request request;
+    request.graph = std::move(graph);
+    request.enqueued = std::chrono::steady_clock::now();
+    auto future = request.promise.get_future();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        SP_ASSERT(!stopping_, "submit after shutdown");
+        queue_.push_back(std::move(request));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+std::vector<float>
+InferenceService::infer(const graph::EncodedGraph &graph) const
+{
+    return model_.predict(graph);
+}
+
+InferenceStats
+InferenceService::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    InferenceStats stats;
+    stats.completed = completed_;
+    stats.mean_latency_us = latency_us_.mean();
+    stats.p99_latency_us = latency_us_.percentile(99);
+    return stats;
+}
+
+void
+InferenceService::workerLoop()
+{
+    for (;;) {
+        Request request;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            request = std::move(queue_.front());
+            queue_.pop_front();
+        }
+
+        std::vector<float> probs = model_.predict(request.graph);
+        const auto now = std::chrono::steady_clock::now();
+        const double latency =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - request.enqueued)
+                .count() /
+            1000.0;
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            ++completed_;
+            latency_us_.add(latency);
+        }
+        request.promise.set_value(std::move(probs));
+    }
+}
+
+}  // namespace sp::core

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Asynchronous PMM inference service (paper §3.4/§4).
+ *
+ * The analog of the torchserve deployment plus Snowplow's Go inference
+ * worker pool: a fixed pool of worker threads consumes queued mutation
+ * queries and runs PMM forward passes, while the caller (the fuzz loop)
+ * continues with other mutation types and collects predictions through
+ * futures. Latency and throughput statistics back the §5.5 evaluation.
+ */
+#ifndef SP_CORE_INFER_H
+#define SP_CORE_INFER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/pmm.h"
+#include "util/stats.h"
+
+namespace sp::core {
+
+/** Aggregate service statistics. */
+struct InferenceStats
+{
+    uint64_t completed = 0;
+    double mean_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+};
+
+/** Multi-threaded inference front-end over one PMM. */
+class InferenceService
+{
+  public:
+    /**
+     * @param model    trained model (must outlive the service; forward
+     *                 passes only read the parameters, so the pool can
+     *                 share it)
+     * @param workers  worker-thread count (the paper's GPU replicas)
+     */
+    InferenceService(const Pmm &model, size_t workers = 2);
+
+    /** Drains the queue and joins the workers. */
+    ~InferenceService();
+
+    InferenceService(const InferenceService &) = delete;
+    InferenceService &operator=(const InferenceService &) = delete;
+
+    /**
+     * Enqueue a query; the future resolves to per-argument-node MUTATE
+     * probabilities.
+     */
+    std::future<std::vector<float>> submit(graph::EncodedGraph graph);
+
+    /** Synchronous convenience wrapper. */
+    std::vector<float> infer(const graph::EncodedGraph &graph) const;
+
+    /** Latency/throughput counters so far. */
+    InferenceStats stats() const;
+
+    size_t workerCount() const { return workers_.size(); }
+
+  private:
+    struct Request
+    {
+        graph::EncodedGraph graph;
+        std::promise<std::vector<float>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void workerLoop();
+
+    const Pmm &model_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+
+    // Guarded by mutex_.
+    uint64_t completed_ = 0;
+    Distribution latency_us_;
+};
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_INFER_H

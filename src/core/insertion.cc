@@ -1,0 +1,342 @@
+#include "core/insertion.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "mutate/mutator.h"
+#include "nn/optimizer.h"
+#include "prog/gen.h"
+#include "util/logging.h"
+
+namespace sp::core {
+
+namespace {
+
+/** Indices of the syscall nodes of an encoded graph, in call order. */
+std::vector<int32_t>
+syscallNodes(const graph::EncodedGraph &graph)
+{
+    std::vector<int32_t> nodes;
+    for (int32_t i = 0; i < graph.num_nodes; ++i) {
+        if (graph.node_kind[static_cast<size_t>(i)] ==
+            static_cast<int32_t>(graph::NodeKind::Syscall)) {
+            nodes.push_back(i);
+        }
+    }
+    return nodes;
+}
+
+}  // namespace
+
+InsertionDataset
+collectInsertionDataset(const kern::Kernel &kernel,
+                        const InsertionDatasetOptions &opts)
+{
+    InsertionDataset dataset;
+    dataset.kernel = &kernel;
+    Rng rng(opts.seed);
+
+    auto corpus = prog::generateCorpus(rng, kernel.table(),
+                                       opts.corpus_size);
+    exec::Executor executor(kernel);
+    for (auto &base : corpus) {
+        auto result = executor.run(base);
+        if (result.crashed)
+            continue;
+        dataset.bases.push_back(std::move(base));
+        dataset.base_results.push_back(std::move(result));
+    }
+
+    mut::Mutator mutator(kernel.table());
+    std::vector<InsertionExample> all;
+    for (size_t bi = 0; bi < dataset.bases.size(); ++bi) {
+        const prog::Prog &base = dataset.bases[bi];
+        const auto &base_result = dataset.base_results[bi];
+        const auto frontier =
+            graph::alternativeFrontier(kernel, base_result.coverage);
+        if (frontier.empty())
+            continue;
+        const std::unordered_set<uint32_t> frontier_set(
+            frontier.begin(), frontier.end());
+
+        // Dedup (position, syscall) pairs per base.
+        std::unordered_set<uint64_t> seen;
+        for (size_t m = 0; m < opts.insertions_per_base; ++m) {
+            prog::Prog mutant;
+            mutant.calls = base.calls;
+            const size_t before = mutant.calls.size();
+            mutator.insertCall(mutant, rng);
+            if (mutant.calls.size() != before + 1)
+                continue;
+            // Find the inserted position by scanning for the first
+            // call whose decl differs from the base at that index.
+            size_t position = before;
+            for (size_t i = 0; i < before; ++i) {
+                if (mutant.calls[i].decl != base.calls[i].decl) {
+                    position = i;
+                    break;
+                }
+            }
+            auto result = executor.run(mutant);
+            auto new_blocks =
+                base_result.coverage.newBlocks(result.coverage);
+            if (new_blocks.empty())
+                continue;
+            ++dataset.successful_insertions;
+
+            InsertionExample example;
+            example.base_index = static_cast<uint32_t>(bi);
+            // Label the syscall node of the call the insertion landed
+            // after (position 0 labels the first call).
+            example.position = static_cast<uint16_t>(
+                position == 0 ? 0 : position - 1);
+            example.syscall_id = mutant.calls[position].decl->id;
+            const uint64_t key =
+                (static_cast<uint64_t>(example.position) << 32) |
+                example.syscall_id;
+            if (!seen.insert(key).second)
+                continue;
+            // Targets: reached frontier blocks plus the usual noise.
+            std::vector<uint32_t> reached;
+            for (uint32_t b : new_blocks)
+                if (frontier_set.count(b))
+                    reached.push_back(b);
+            if (reached.empty())
+                continue;
+            example.targets.push_back(
+                reached[rng.below(reached.size())]);
+            for (uint32_t b : frontier)
+                if (rng.chance(0.25))
+                    example.targets.push_back(b);
+            std::sort(example.targets.begin(), example.targets.end());
+            example.targets.erase(std::unique(example.targets.begin(),
+                                              example.targets.end()),
+                                  example.targets.end());
+            all.push_back(std::move(example));
+        }
+    }
+
+    // Split by base.
+    std::vector<bool> in_train(dataset.bases.size());
+    for (size_t i = 0; i < in_train.size(); ++i)
+        in_train[i] = rng.uniform() < opts.train_fraction;
+    for (auto &example : all) {
+        if (in_train[example.base_index])
+            dataset.train.push_back(std::move(example));
+        else
+            dataset.eval.push_back(std::move(example));
+    }
+    return dataset;
+}
+
+InsertionModel::InsertionModel(const PmmConfig &config)
+{
+    backbone_ = std::make_unique<Pmm>(config);
+    Rng rng(config.init_seed ^ 0x1297);
+    position_head_ = std::make_unique<nn::Mlp>(
+        rng,
+        std::vector<int64_t>{config.dim, config.head_hidden, 1},
+        "ins_pos");
+    variant_head_ = std::make_unique<nn::Mlp>(
+        rng,
+        std::vector<int64_t>{config.dim, config.head_hidden,
+                             graph::EncodeVocab::kSyscallVocab},
+        "ins_variant");
+    absorb("", *backbone_);
+    absorb("", *position_head_);
+    absorb("", *variant_head_);
+}
+
+std::pair<nn::Tensor, nn::Tensor>
+InsertionModel::forward(const graph::EncodedGraph &graph,
+                        const std::vector<int32_t> &syscall_nodes) const
+{
+    using nn::Tensor;
+    SP_ASSERT(!syscall_nodes.empty());
+    Tensor h = backbone_->nodeStates(graph);
+
+    Tensor calls = nn::gatherRows(h, syscall_nodes);
+    Tensor position_logits =
+        nn::flatten(position_head_->forward(calls));
+
+    // Pool the syscall states for the variant head (mean).
+    std::vector<int32_t> to_zero(syscall_nodes.size(), 0);
+    Tensor pooled = nn::scatterAddRows(calls, to_zero, 1);
+    pooled = nn::rowScale(
+        pooled, {1.0f / static_cast<float>(syscall_nodes.size())});
+    Tensor variant_logits = variant_head_->forward(pooled);
+    return {position_logits, variant_logits};
+}
+
+namespace {
+
+std::pair<graph::EncodedGraph, std::vector<int32_t>>
+materializeInsertion(const InsertionDataset &dataset,
+                     const InsertionExample &example)
+{
+    const auto &base = dataset.bases[example.base_index];
+    const auto &result = dataset.base_results[example.base_index];
+    auto query = graph::buildQueryGraph(*dataset.kernel, base, result,
+                                        example.targets);
+    auto encoded = graph::encodeGraph(*dataset.kernel, query);
+    auto calls = syscallNodes(encoded);
+    return {std::move(encoded), std::move(calls)};
+}
+
+}  // namespace
+
+InsertionMetrics
+evaluateInsertionModel(const InsertionModel &model,
+                       const InsertionDataset &dataset,
+                       const std::vector<InsertionExample> &split)
+{
+    InsertionMetrics metrics;
+    double f1_total = 0.0, top1 = 0.0, top5 = 0.0;
+    for (const auto &example : split) {
+        auto [graph, calls] = materializeInsertion(dataset, example);
+        if (calls.empty() ||
+            example.position >= calls.size()) {
+            continue;
+        }
+        auto [pos_logits, var_logits] = model.forward(graph, calls);
+
+        // Position: single prediction = argmax; F1 of singleton sets.
+        int64_t best = 0;
+        for (int64_t i = 1; i < pos_logits.rows(); ++i)
+            if (pos_logits.at(i) > pos_logits.at(best))
+                best = i;
+        f1_total += (static_cast<size_t>(best) == example.position)
+                        ? 1.0
+                        : 0.0;
+
+        // Variant: top-k accuracy.
+        std::vector<size_t> order(
+            static_cast<size_t>(var_logits.cols()));
+        for (size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return var_logits.at(0, static_cast<int64_t>(a)) >
+                   var_logits.at(0, static_cast<int64_t>(b));
+        });
+        const auto target = static_cast<size_t>(std::min<uint32_t>(
+            example.syscall_id, graph::EncodeVocab::kSyscallVocab - 1));
+        top1 += (order[0] == target);
+        for (size_t k = 0; k < 5 && k < order.size(); ++k)
+            if (order[k] == target) {
+                top5 += 1.0;
+                break;
+            }
+        ++metrics.examples;
+    }
+    if (metrics.examples > 0) {
+        const auto n = static_cast<double>(metrics.examples);
+        metrics.position_f1 = f1_total / n;
+        metrics.variant_top1 = top1 / n;
+        metrics.variant_top5 = top5 / n;
+    }
+    return metrics;
+}
+
+InsertionMetrics
+evaluateRandomInsertion(const InsertionDataset &dataset,
+                        const std::vector<InsertionExample> &split,
+                        uint64_t seed)
+{
+    Rng rng(seed);
+    InsertionMetrics metrics;
+    double f1_total = 0.0, top1 = 0.0, top5 = 0.0;
+    const size_t variants = dataset.kernel->table().decls.size();
+    for (const auto &example : split) {
+        const auto &base = dataset.bases[example.base_index];
+        if (base.calls.empty() ||
+            example.position >= base.calls.size()) {
+            continue;
+        }
+        f1_total +=
+            (rng.below(base.calls.size()) == example.position) ? 1.0
+                                                               : 0.0;
+        const auto target = example.syscall_id;
+        // Random variant guesses without replacement.
+        auto picks = rng.sampleIndices(variants, std::min<size_t>(
+                                                     5, variants));
+        top1 += (picks[0] == target);
+        for (size_t k = 0; k < picks.size(); ++k)
+            if (picks[k] == target) {
+                top5 += 1.0;
+                break;
+            }
+        ++metrics.examples;
+    }
+    if (metrics.examples > 0) {
+        const auto n = static_cast<double>(metrics.examples);
+        metrics.position_f1 = f1_total / n;
+        metrics.variant_top1 = top1 / n;
+        metrics.variant_top5 = top5 / n;
+    }
+    return metrics;
+}
+
+InsertionMetrics
+trainInsertionModel(InsertionModel &model, const InsertionDataset &dataset,
+                    const InsertionTrainOptions &opts)
+{
+    Rng rng(opts.seed);
+    nn::Adam optimizer(model.parameters(), opts.learning_rate);
+
+    // Materialize once.
+    struct Cached
+    {
+        graph::EncodedGraph graph;
+        std::vector<int32_t> calls;
+        uint16_t position;
+        int32_t variant;
+    };
+    std::vector<Cached> cache;
+    const size_t limit = opts.max_train_examples == 0
+                             ? dataset.train.size()
+                             : std::min(dataset.train.size(),
+                                        opts.max_train_examples);
+    for (size_t i = 0; i < limit; ++i) {
+        const auto &example = dataset.train[i];
+        auto [graph, calls] = materializeInsertion(dataset, example);
+        if (calls.empty() || example.position >= calls.size())
+            continue;
+        Cached entry;
+        entry.graph = std::move(graph);
+        entry.calls = std::move(calls);
+        entry.position = example.position;
+        entry.variant = static_cast<int32_t>(std::min<uint32_t>(
+            example.syscall_id, graph::EncodeVocab::kSyscallVocab - 1));
+        cache.push_back(std::move(entry));
+    }
+
+    std::vector<size_t> order(cache.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        for (size_t oi : order) {
+            const Cached &entry = cache[oi];
+            model.zeroGrad();
+            auto [pos_logits, var_logits] =
+                model.forward(entry.graph, entry.calls);
+
+            std::vector<float> labels(
+                static_cast<size_t>(pos_logits.rows()), 0.0f);
+            std::vector<float> weights(labels.size(), 1.0f);
+            labels[entry.position] = 1.0f;
+            weights[entry.position] = opts.pos_weight;
+            nn::Tensor loss =
+                nn::add(nn::bceWithLogits(pos_logits, labels, weights),
+                        nn::crossEntropyRows(var_logits,
+                                             {entry.variant}));
+            loss.backward();
+            optimizer.clipGradNorm(opts.grad_clip);
+            optimizer.step();
+        }
+    }
+    return evaluateInsertionModel(model, dataset, dataset.eval);
+}
+
+}  // namespace sp::core

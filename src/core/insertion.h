@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Call-insertion localization — the paper's §6 extension, implemented.
+ *
+ * The paper argues PMM's methodology "can be used to localize system
+ * call insertion with no representational or training changes", and
+ * that instantiation (which syscall variant to insert) needs only "a
+ * minimal change in the architecture": predicting one of the syscall
+ * variants instead of a binary label. This module does both:
+ *
+ *  - dataset: random *call-insertion* mutations of a seed corpus;
+ *    insertions whose execution covered new blocks become samples
+ *    ⟨base, position, inserted-variant, targets⟩ with the same
+ *    one-hop noisy-target construction as argument mutations;
+ *  - model: the PMM backbone (shared graph encoder + typed message
+ *    passing) with two heads — a binary INSERT-AFTER head over syscall
+ *    nodes (localization) and a softmax head over syscall variants on
+ *    the pooled graph state (instantiation);
+ *  - evaluation: position selection F1 and variant top-1/top-5
+ *    accuracy against random baselines.
+ */
+#ifndef SP_CORE_INSERTION_H
+#define SP_CORE_INSERTION_H
+
+#include <memory>
+
+#include "core/dataset.h"
+#include "core/pmm.h"
+
+namespace sp::core {
+
+/** One insertion training example. */
+struct InsertionExample
+{
+    uint32_t base_index = 0;
+    /** Insert after this call index (the syscall node to label). */
+    uint16_t position = 0;
+    /** Syscall id of the inserted variant (instantiation target). */
+    uint32_t syscall_id = 0;
+    std::vector<uint32_t> targets;
+};
+
+/** Insertion dataset (bases shared with the same layout as Dataset). */
+struct InsertionDataset
+{
+    const kern::Kernel *kernel = nullptr;
+    std::vector<prog::Prog> bases;
+    std::vector<exec::ExecResult> base_results;
+    std::vector<InsertionExample> train;
+    std::vector<InsertionExample> eval;
+    size_t successful_insertions = 0;
+};
+
+/** Collection knobs. */
+struct InsertionDatasetOptions
+{
+    size_t corpus_size = 200;
+    size_t insertions_per_base = 150;
+    uint64_t seed = 11;
+    double train_fraction = 0.85;
+};
+
+/** Run the insertion-mutation campaign. */
+InsertionDataset collectInsertionDataset(
+    const kern::Kernel &kernel, const InsertionDatasetOptions &opts);
+
+/** Two-headed insertion model on the PMM backbone. */
+class InsertionModel : public nn::Module
+{
+  public:
+    explicit InsertionModel(const PmmConfig &config = {});
+
+    /**
+     * Forward: returns {position_logits (rank-1 over syscall nodes),
+     * variant_logits ([1, kSyscallVocab])}.
+     */
+    std::pair<nn::Tensor, nn::Tensor>
+    forward(const graph::EncodedGraph &graph,
+            const std::vector<int32_t> &syscall_nodes) const;
+
+    const Pmm &backbone() const { return *backbone_; }
+
+  private:
+    std::unique_ptr<Pmm> backbone_;
+    std::unique_ptr<nn::Mlp> position_head_;
+    std::unique_ptr<nn::Mlp> variant_head_;
+};
+
+/** Insertion-task metrics. */
+struct InsertionMetrics
+{
+    double position_f1 = 0.0;        ///< per-example, like Table 1
+    double variant_top1 = 0.0;
+    double variant_top5 = 0.0;
+    size_t examples = 0;
+};
+
+/** Training knobs. */
+struct InsertionTrainOptions
+{
+    int epochs = 8;
+    float learning_rate = 3e-3f;
+    float pos_weight = 2.0f;
+    float grad_clip = 5.0f;
+    uint64_t seed = 99;
+    size_t max_train_examples = 0;
+};
+
+/** Train the insertion model; returns final eval metrics. */
+InsertionMetrics trainInsertionModel(InsertionModel &model,
+                                     const InsertionDataset &dataset,
+                                     const InsertionTrainOptions &opts);
+
+/** Evaluate the model over a split. */
+InsertionMetrics evaluateInsertionModel(
+    const InsertionModel &model, const InsertionDataset &dataset,
+    const std::vector<InsertionExample> &split);
+
+/** Random-choice baseline for the same metrics. */
+InsertionMetrics evaluateRandomInsertion(
+    const InsertionDataset &dataset,
+    const std::vector<InsertionExample> &split, uint64_t seed);
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_INSERTION_H

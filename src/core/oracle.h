@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The oracle localizer: a perfect white-box analysis upper bound.
+ *
+ * Instead of a learned model, this localizer reads the simulated
+ * kernel's *actual* branch predicates: for every frontier (not-taken)
+ * branch of the base test's coverage it resolves which argument slot
+ * the guard tests and returns those arguments. It plays the role the
+ * symbolic-execution engines play in hybrid fuzzers like HFL (§7 of
+ * the paper): exact, but in the real world orders of magnitude more
+ * expensive than a model inference — here it is used as the *ceiling*
+ * against which PMM's accuracy/speed trade-off is judged (see
+ * bench/ablations).
+ */
+#ifndef SP_CORE_ORACLE_H
+#define SP_CORE_ORACLE_H
+
+#include "exec/executor.h"
+#include "kernel/kernel.h"
+#include "mutate/localizer.h"
+
+namespace sp::core {
+
+/** Exact frontier-guard argument localizer. */
+class OracleLocalizer : public mut::Localizer
+{
+  public:
+    explicit OracleLocalizer(const kern::Kernel &kernel);
+
+    std::vector<mut::ArgLocation> localize(const prog::Prog &prog,
+                                           Rng &rng,
+                                           size_t max_sites) override;
+
+    std::vector<mut::ArgLocation>
+    localizeWithResult(const prog::Prog &prog,
+                       const exec::ExecResult &result, Rng &rng,
+                       size_t max_sites) override;
+
+  private:
+    const kern::Kernel &kernel_;
+    mut::RandomLocalizer fallback_;
+    exec::Executor probe_;
+};
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_ORACLE_H

@@ -1,0 +1,241 @@
+#include "core/snowplow.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "graph/encode.h"
+#include "graph/query_graph.h"
+#include "util/logging.h"
+
+namespace sp::core {
+
+namespace {
+
+/** Rank above-threshold argument sites by probability. */
+std::vector<mut::ArgLocation>
+rankFromProbs(const std::vector<float> &probs,
+              const std::vector<mut::ArgLocation> &locations,
+              float threshold, size_t cap)
+{
+    SP_ASSERT(probs.size() == locations.size());
+    std::vector<size_t> order;
+    for (size_t i = 0; i < probs.size(); ++i)
+        if (probs[i] >= threshold)
+            order.push_back(i);
+    if (order.empty() && !probs.empty()) {
+        size_t best = 0;
+        for (size_t i = 1; i < probs.size(); ++i)
+            if (probs[i] > probs[best])
+                best = i;
+        order.push_back(best);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return probs[a] > probs[b]; });
+    if (order.size() > cap)
+        order.resize(cap);
+    std::vector<mut::ArgLocation> sites;
+    sites.reserve(order.size());
+    for (size_t i : order)
+        sites.push_back(locations[i]);
+    return sites;
+}
+
+/** Build the mutation query for a base, directed targets honored. */
+graph::QueryGraph
+buildQueryFor(const kern::Kernel &kernel, const prog::Prog &prog,
+              const exec::ExecResult &result,
+              const std::vector<uint32_t> &directed_targets)
+{
+    auto frontier = graph::alternativeFrontier(kernel, result.coverage);
+    std::vector<uint32_t> targets;
+    if (directed_targets.empty()) {
+        targets = std::move(frontier);
+    } else {
+        for (uint32_t t : directed_targets) {
+            if (std::find(frontier.begin(), frontier.end(), t) !=
+                frontier.end()) {
+                targets.push_back(t);
+            }
+        }
+        if (targets.empty())
+            targets = std::move(frontier);
+    }
+    return graph::buildQueryGraph(kernel, prog, result, targets);
+}
+
+}  // namespace
+
+PmmLocalizer::PmmLocalizer(const kern::Kernel &kernel, const Pmm &model,
+                           SnowplowOptions opts)
+    : kernel_(kernel), model_(model), opts_(std::move(opts)),
+      probe_(kernel)  // deterministic probe executor
+{
+}
+
+std::vector<mut::ArgLocation>
+PmmLocalizer::localize(const prog::Prog &prog, Rng &rng, size_t max_sites)
+{
+    // No cached coverage supplied: probe deterministically.
+    auto result = probe_.run(prog);
+    return localizeWithResult(prog, result, rng, max_sites);
+}
+
+std::vector<mut::ArgLocation>
+PmmLocalizer::localizeWithResult(const prog::Prog &prog,
+                                 const exec::ExecResult &result, Rng &rng,
+                                 size_t max_sites)
+{
+    if (rng.chance(opts_.fallback_prob)) {
+        ++fallback_queries_;
+        return fallback_.localize(prog, rng, std::max<size_t>(
+                                                  1, max_sites / 2));
+    }
+    ++model_queries_;
+
+    const uint64_t key = prog.hash();
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        if (cache_.size() >= opts_.cache_capacity)
+            cache_.clear();  // simple wholesale eviction
+        it = cache_.emplace(key, rankSites(prog, result, rng, max_sites))
+                 .first;
+    }
+    auto sites = it->second;
+    if (sites.size() > max_sites)
+        sites.resize(max_sites);
+    if (sites.empty())
+        return fallback_.localize(prog, rng, 1);
+    return sites;
+}
+
+std::vector<mut::ArgLocation>
+PmmLocalizer::rankSites(const prog::Prog &prog,
+                        const exec::ExecResult &result, Rng &rng,
+                        size_t max_sites)
+{
+    (void)rng;
+    auto query = buildQueryFor(kernel_, prog, result,
+                               opts_.directed_targets);
+    if (query.argument_nodes.empty())
+        return {};
+    const auto encoded = graph::encodeGraph(kernel_, query);
+    const auto probs = model_.predict(encoded);
+    // Cache a little extra headroom beyond the caller's cap.
+    return rankFromProbs(probs, query.argument_locations,
+                         opts_.threshold, max_sites * 2);
+}
+
+AsyncPmmLocalizer::AsyncPmmLocalizer(const kern::Kernel &kernel,
+                                     InferenceService &service,
+                                     SnowplowOptions opts)
+    : kernel_(kernel), service_(service), opts_(std::move(opts)),
+      probe_(kernel)
+{
+}
+
+AsyncPmmLocalizer::~AsyncPmmLocalizer()
+{
+    // Drain outstanding futures so the service's promises are consumed.
+    for (auto &[hash, pending] : pending_) {
+        (void)hash;
+        if (pending.future.valid())
+            pending.future.wait();
+    }
+}
+
+std::vector<mut::ArgLocation>
+AsyncPmmLocalizer::localize(const prog::Prog &prog, Rng &rng,
+                            size_t max_sites)
+{
+    auto result = probe_.run(prog);
+    return localizeWithResult(prog, result, rng, max_sites);
+}
+
+std::vector<mut::ArgLocation>
+AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
+                                      const exec::ExecResult &result,
+                                      Rng &rng, size_t max_sites)
+{
+    if (rng.chance(opts_.fallback_prob)) {
+        return fallback_.localize(prog, rng,
+                                  std::max<size_t>(1, max_sites / 2));
+    }
+
+    const uint64_t key = prog.hash();
+    if (auto it = ready_.find(key); it != ready_.end()) {
+        ++answered_;
+        auto sites = it->second;
+        if (sites.size() > max_sites)
+            sites.resize(max_sites);
+        if (sites.empty())
+            return fallback_.localize(prog, rng, 1);
+        return sites;
+    }
+
+    if (auto it = pending_.find(key); it != pending_.end()) {
+        if (it->second.future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            const auto probs = it->second.future.get();
+            auto sites =
+                probs.empty()
+                    ? std::vector<mut::ArgLocation>{}
+                    : rankFromProbs(probs, it->second.locations,
+                                    opts_.threshold, max_sites * 2);
+            if (ready_.size() >= opts_.cache_capacity)
+                ready_.clear();
+            ready_.emplace(key, std::move(sites));
+            pending_.erase(it);
+            return localizeWithResult(prog, result, rng, max_sites);
+        }
+        // Inference still in flight: let the loop do other mutations.
+        ++pending_answers_;
+        return fallback_.localize(prog, rng, 1);
+    }
+
+    // First sight of this base: submit the query asynchronously.
+    auto query = buildQueryFor(kernel_, prog, result,
+                               opts_.directed_targets);
+    if (query.argument_nodes.empty())
+        return fallback_.localize(prog, rng, 1);
+    PendingQuery pending;
+    pending.locations = std::move(query.argument_locations);
+    pending.future = service_.submit(graph::encodeGraph(kernel_, query));
+    pending_.emplace(key, std::move(pending));
+    ++submitted_;
+    ++pending_answers_;
+    return fallback_.localize(prog, rng, 1);
+}
+
+std::unique_ptr<fuzz::Fuzzer>
+makeSnowplowFuzzer(const kern::Kernel &kernel, const Pmm &model,
+                   fuzz::FuzzOptions fuzz_opts,
+                   SnowplowOptions snowplow_opts)
+{
+    auto localizer = std::make_unique<PmmLocalizer>(
+        kernel, model, std::move(snowplow_opts));
+    return std::make_unique<fuzz::Fuzzer>(kernel, std::move(fuzz_opts),
+                                          std::move(localizer));
+}
+
+std::unique_ptr<fuzz::Fuzzer>
+makeAsyncSnowplowFuzzer(const kern::Kernel &kernel,
+                        InferenceService &service,
+                        fuzz::FuzzOptions fuzz_opts,
+                        SnowplowOptions snowplow_opts)
+{
+    auto localizer = std::make_unique<AsyncPmmLocalizer>(
+        kernel, service, std::move(snowplow_opts));
+    return std::make_unique<fuzz::Fuzzer>(kernel, std::move(fuzz_opts),
+                                          std::move(localizer));
+}
+
+std::unique_ptr<fuzz::Fuzzer>
+makeSyzkallerFuzzer(const kern::Kernel &kernel,
+                    fuzz::FuzzOptions fuzz_opts)
+{
+    return std::make_unique<fuzz::Fuzzer>(
+        kernel, std::move(fuzz_opts),
+        std::make_unique<mut::RandomLocalizer>());
+}
+
+}  // namespace sp::core

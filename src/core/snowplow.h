@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Snowplow: the hybrid fuzzer (paper §3.4).
+ *
+ * PmmLocalizer plugs the trained model into the fuzzing loop's
+ * localization step: given a base test and its (cached) coverage, it
+ * builds the mutation query with the one-hop alternative frontier as
+ * the desired coverage, runs PMM, and returns the arguments whose
+ * MUTATE probability clears the threshold (ranked, capped). A small
+ * fallback probability keeps the original random localizer in play in
+ * case PMM misses promising arguments, and the number of returned sites
+ * naturally implements the dynamic mutation count — bases with more
+ * promising arguments get more argument mutations.
+ *
+ * makeSnowplowFuzzer / makeSyzkallerFuzzer build the two sides of every
+ * same-budget comparison in the evaluation.
+ */
+#ifndef SP_CORE_SNOWPLOW_H
+#define SP_CORE_SNOWPLOW_H
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/infer.h"
+#include "core/pmm.h"
+#include "fuzz/fuzzer.h"
+
+namespace sp::core {
+
+/** PmmLocalizer configuration. */
+struct SnowplowOptions
+{
+    /** MUTATE probability threshold. */
+    float threshold = 0.5f;
+    /** Probability of deferring to the random localizer (§3.4). */
+    double fallback_prob = 0.05;
+    /** Cache capacity for per-base predictions. */
+    size_t cache_capacity = 4096;
+    /**
+     * Optional directed-mode target blocks: when non-empty, only these
+     * (where present on the base's frontier) are marked as targets in
+     * the query; otherwise the whole frontier is the desired coverage.
+     */
+    std::vector<uint32_t> directed_targets;
+};
+
+/** The learned white-box argument localizer. */
+class PmmLocalizer : public mut::Localizer
+{
+  public:
+    /**
+     * @param kernel  kernel under test (for graph building and the
+     *                deterministic probe executor)
+     * @param model   trained PMM (must outlive the localizer)
+     * @param opts    thresholds and fallback behaviour
+     */
+    PmmLocalizer(const kern::Kernel &kernel, const Pmm &model,
+                 SnowplowOptions opts = {});
+
+    std::vector<mut::ArgLocation> localize(const prog::Prog &prog,
+                                           Rng &rng,
+                                           size_t max_sites) override;
+
+    std::vector<mut::ArgLocation>
+    localizeWithResult(const prog::Prog &prog,
+                       const exec::ExecResult &result, Rng &rng,
+                       size_t max_sites) override;
+
+    /** Queries answered by the model (vs fallback). */
+    uint64_t modelQueries() const { return model_queries_; }
+    uint64_t fallbackQueries() const { return fallback_queries_; }
+
+  private:
+    std::vector<mut::ArgLocation>
+    rankSites(const prog::Prog &prog, const exec::ExecResult &result,
+              Rng &rng, size_t max_sites);
+
+    const kern::Kernel &kernel_;
+    const Pmm &model_;
+    SnowplowOptions opts_;
+    mut::RandomLocalizer fallback_;
+    exec::Executor probe_;  ///< deterministic executor for cold bases
+    /** prog hash -> ranked site list (model output cache). */
+    std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> cache_;
+    uint64_t model_queries_ = 0;
+    uint64_t fallback_queries_ = 0;
+};
+
+/**
+ * The asynchronous variant of the learned localizer (paper §3.4/§4):
+ * queries are submitted to an InferenceService worker pool; while a
+ * base's prediction is pending the localizer answers with the random
+ * fallback so the fuzz loop never blocks, and once the prediction
+ * lands it is cached and used for subsequent mutations of that base —
+ * Snowplow "catches up with argument mutations" exactly as the paper's
+ * Go worker-pool integration does.
+ */
+class AsyncPmmLocalizer : public mut::Localizer
+{
+  public:
+    /**
+     * @param kernel   kernel under test
+     * @param service  shared inference service (must outlive this)
+     * @param opts     thresholds and fallback behaviour
+     */
+    AsyncPmmLocalizer(const kern::Kernel &kernel,
+                      InferenceService &service,
+                      SnowplowOptions opts = {});
+    ~AsyncPmmLocalizer() override;
+
+    std::vector<mut::ArgLocation> localize(const prog::Prog &prog,
+                                           Rng &rng,
+                                           size_t max_sites) override;
+
+    std::vector<mut::ArgLocation>
+    localizeWithResult(const prog::Prog &prog,
+                       const exec::ExecResult &result, Rng &rng,
+                       size_t max_sites) override;
+
+    /** @name Telemetry */
+    /** @{ */
+    uint64_t submitted() const { return submitted_; }
+    uint64_t answeredFromModel() const { return answered_; }
+    uint64_t answeredWhilePending() const { return pending_answers_; }
+    /** @} */
+
+  private:
+    struct PendingQuery
+    {
+        std::future<std::vector<float>> future;
+        std::vector<mut::ArgLocation> locations;  ///< decode table
+    };
+
+    const kern::Kernel &kernel_;
+    InferenceService &service_;
+    SnowplowOptions opts_;
+    mut::RandomLocalizer fallback_;
+    exec::Executor probe_;
+    std::unordered_map<uint64_t, PendingQuery> pending_;
+    std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> ready_;
+    uint64_t submitted_ = 0;
+    uint64_t answered_ = 0;
+    uint64_t pending_answers_ = 0;
+};
+
+/** Snowplow = the fuzz loop + PmmLocalizer. */
+std::unique_ptr<fuzz::Fuzzer>
+makeSnowplowFuzzer(const kern::Kernel &kernel, const Pmm &model,
+                   fuzz::FuzzOptions fuzz_opts,
+                   SnowplowOptions snowplow_opts = {});
+
+/**
+ * Snowplow with the asynchronous inference pipeline: the returned
+ * fuzzer owns an AsyncPmmLocalizer bound to `service`.
+ */
+std::unique_ptr<fuzz::Fuzzer>
+makeAsyncSnowplowFuzzer(const kern::Kernel &kernel,
+                        InferenceService &service,
+                        fuzz::FuzzOptions fuzz_opts,
+                        SnowplowOptions snowplow_opts = {});
+
+/** The Syzkaller baseline = the same loop + RandomLocalizer. */
+std::unique_ptr<fuzz::Fuzzer>
+makeSyzkallerFuzzer(const kern::Kernel &kernel,
+                    fuzz::FuzzOptions fuzz_opts);
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_SNOWPLOW_H

@@ -1,0 +1,238 @@
+#include "core/train.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace sp::core {
+
+namespace {
+
+/** Accumulates per-example set-overlap metrics. */
+class MetricAccumulator
+{
+  public:
+    void
+    add(const std::vector<bool> &predicted,
+        const std::vector<bool> &truth)
+    {
+        SP_ASSERT(predicted.size() == truth.size());
+        size_t tp = 0, fp = 0, fn = 0;
+        for (size_t i = 0; i < predicted.size(); ++i) {
+            tp += (predicted[i] && truth[i]);
+            fp += (predicted[i] && !truth[i]);
+            fn += (!predicted[i] && truth[i]);
+        }
+        const double precision =
+            tp + fp == 0 ? 0.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(tp + fp);
+        const double recall =
+            tp + fn == 0 ? 1.0
+                         : static_cast<double>(tp) /
+                               static_cast<double>(tp + fn);
+        const double f1 = precision + recall == 0.0
+                              ? 0.0
+                              : 2.0 * precision * recall /
+                                    (precision + recall);
+        const double jaccard =
+            tp + fp + fn == 0 ? 1.0
+                              : static_cast<double>(tp) /
+                                    static_cast<double>(tp + fp + fn);
+        precision_ += precision;
+        recall_ += recall;
+        f1_ += f1;
+        jaccard_ += jaccard;
+        ++count_;
+    }
+
+    SelectorMetrics
+    finish() const
+    {
+        SelectorMetrics metrics;
+        metrics.examples = count_;
+        if (count_ == 0)
+            return metrics;
+        const auto n = static_cast<double>(count_);
+        metrics.precision = precision_ / n;
+        metrics.recall = recall_ / n;
+        metrics.f1 = f1_ / n;
+        metrics.jaccard = jaccard_ / n;
+        return metrics;
+    }
+
+  private:
+    double precision_ = 0.0;
+    double recall_ = 0.0;
+    double f1_ = 0.0;
+    double jaccard_ = 0.0;
+    size_t count_ = 0;
+};
+
+std::vector<bool>
+truthMask(const std::vector<float> &labels)
+{
+    std::vector<bool> mask(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i)
+        mask[i] = labels[i] > 0.5f;
+    return mask;
+}
+
+}  // namespace
+
+TrainHistory
+trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
+{
+    TrainHistory history;
+    if (dataset.train.empty()) {
+        SP_WARN("trainPmm: empty training split");
+        return history;
+    }
+
+    Rng rng(opts.seed);
+    nn::Adam optimizer(model.parameters(), opts.learning_rate, 0.9f,
+                       0.999f, 1e-8f, opts.weight_decay);
+
+    const size_t per_epoch =
+        opts.max_train_examples == 0
+            ? dataset.train.size()
+            : std::min(dataset.train.size(), opts.max_train_examples);
+
+    // Materialize (graph, labels) once: the encodings are identical
+    // across epochs, and rebuilding them dominates training time.
+    std::vector<std::pair<graph::EncodedGraph, std::vector<float>>>
+        cache;
+    cache.reserve(per_epoch);
+    std::vector<size_t> order;
+    {
+        std::vector<size_t> candidates(dataset.train.size());
+        for (size_t i = 0; i < candidates.size(); ++i)
+            candidates[i] = i;
+        for (size_t i = candidates.size(); i > 1; --i)
+            std::swap(candidates[i - 1], candidates[rng.below(i)]);
+        for (size_t i = 0; i < per_epoch; ++i) {
+            auto example = materializeExample(
+                dataset, dataset.train[candidates[i]]);
+            if (example.second.empty())
+                continue;
+            cache.push_back(std::move(example));
+        }
+    }
+    order.resize(cache.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    double best_f1 = -1.0;
+    int stale_epochs = 0;
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        // Shuffle example order.
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+
+        double loss_total = 0.0;
+        size_t trained = 0;
+        for (size_t oi = 0; oi < order.size(); ++oi) {
+            const auto &[graph, labels] = cache[order[oi]];
+            std::vector<float> weights(labels.size());
+            for (size_t i = 0; i < labels.size(); ++i)
+                weights[i] = labels[i] > 0.5f ? opts.pos_weight : 1.0f;
+
+            model.zeroGrad();
+            nn::Tensor logits = model.forward(graph, &rng, true);
+            nn::Tensor loss = nn::bceWithLogits(logits, labels, weights);
+            loss.backward();
+            optimizer.clipGradNorm(opts.grad_clip);
+            optimizer.step();
+            loss_total += loss.item();
+            ++trained;
+        }
+
+        EpochRecord record;
+        record.epoch = epoch;
+        record.train_loss =
+            trained == 0 ? 0.0 : loss_total / static_cast<double>(trained);
+        record.valid = evaluatePmm(model, dataset, dataset.valid);
+        history.epochs.push_back(record);
+        if (opts.verbose) {
+            SP_INFORM("epoch %d: loss %.4f valid F1 %.3f", epoch,
+                      record.train_loss, record.valid.f1);
+        }
+
+        if (record.valid.f1 > best_f1 + 1e-4) {
+            best_f1 = record.valid.f1;
+            history.best_valid = record.valid;
+            stale_epochs = 0;
+        } else if (++stale_epochs > opts.patience) {
+            break;
+        }
+    }
+    if (history.best_valid.examples == 0 && !history.epochs.empty())
+        history.best_valid = history.epochs.back().valid;
+
+    // Decision-threshold sweep on the validation split.
+    double best_threshold_f1 = -1.0;
+    for (float threshold : {0.3f, 0.35f, 0.4f, 0.45f, 0.5f, 0.55f,
+                            0.6f}) {
+        auto metrics =
+            evaluatePmm(model, dataset, dataset.valid, threshold);
+        if (metrics.f1 > best_threshold_f1) {
+            best_threshold_f1 = metrics.f1;
+            history.best_threshold = threshold;
+        }
+    }
+    return history;
+}
+
+SelectorMetrics
+evaluatePmm(const Pmm &model, const Dataset &dataset,
+            const std::vector<RawExample> &split, float threshold)
+{
+    MetricAccumulator acc;
+    for (const auto &example : split) {
+        auto [graph, labels] = materializeExample(dataset, example);
+        if (labels.empty())
+            continue;
+        const auto probs = model.predict(graph);
+        std::vector<bool> predicted(probs.size());
+        bool any = false;
+        for (size_t i = 0; i < probs.size(); ++i) {
+            predicted[i] = probs[i] >= threshold;
+            any |= predicted[i];
+        }
+        if (!any && !probs.empty()) {
+            // Always select at least the top-scoring argument.
+            size_t best = 0;
+            for (size_t i = 1; i < probs.size(); ++i)
+                if (probs[i] > probs[best])
+                    best = i;
+            predicted[best] = true;
+        }
+        acc.add(predicted, truthMask(labels));
+    }
+    return acc.finish();
+}
+
+SelectorMetrics
+evaluateRandomSelector(const Dataset &dataset,
+                       const std::vector<RawExample> &split, size_t k,
+                       uint64_t seed)
+{
+    Rng rng(seed);
+    MetricAccumulator acc;
+    for (const auto &example : split) {
+        auto [graph, labels] = materializeExample(dataset, example);
+        if (labels.empty())
+            continue;
+        std::vector<bool> predicted(labels.size(), false);
+        const size_t take = std::min(k, labels.size());
+        for (size_t i : rng.sampleIndices(labels.size(), take))
+            predicted[i] = true;
+        acc.add(predicted, truthMask(labels));
+        (void)graph;
+    }
+    return acc.finish();
+}
+
+}  // namespace sp::core

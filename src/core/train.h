@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PMM training and evaluation (paper §3.3 and §5.2).
+ *
+ * Training minimizes per-argument-node binary cross-entropy with a
+ * positive-class weight (each graph has far more NOT-MUTATE than MUTATE
+ * arguments). Evaluation reproduces the paper's metrics: per-example
+ * precision, recall, F1 and Jaccard between the predicted argument set
+ * ŷ and the ground-truth set y, averaged across examples — plus the
+ * Rand-K baseline selector (K = mean ground-truth size of the training
+ * split, the paper's Rand.8).
+ */
+#ifndef SP_CORE_TRAIN_H
+#define SP_CORE_TRAIN_H
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/pmm.h"
+
+namespace sp::core {
+
+/** Training configuration. */
+struct TrainOptions
+{
+    int epochs = 12;
+    float learning_rate = 3e-3f;
+    float weight_decay = 1e-5f;
+    float pos_weight = 2.0f;    ///< BCE weight of MUTATE labels
+    float grad_clip = 5.0f;
+    uint64_t seed = 77;
+    size_t max_train_examples = 0;  ///< 0 = use all
+    /** Early-stop patience in epochs without validation-F1 gain. */
+    int patience = 3;
+    bool verbose = false;
+};
+
+/** Per-example-averaged selector metrics. */
+struct SelectorMetrics
+{
+    double f1 = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double jaccard = 0.0;
+    size_t examples = 0;
+};
+
+/** One epoch's training record. */
+struct EpochRecord
+{
+    int epoch = 0;
+    double train_loss = 0.0;
+    SelectorMetrics valid;
+};
+
+/** Training history. */
+struct TrainHistory
+{
+    std::vector<EpochRecord> epochs;
+    SelectorMetrics best_valid;
+    /** Decision threshold maximizing validation F1 (swept post-training). */
+    float best_threshold = 0.5f;
+};
+
+/** Train `model` on the dataset's train split. */
+TrainHistory trainPmm(Pmm &model, const Dataset &dataset,
+                      const TrainOptions &opts);
+
+/** Evaluate the model's argument selection over a split. */
+SelectorMetrics evaluatePmm(const Pmm &model, const Dataset &dataset,
+                            const std::vector<RawExample> &split,
+                            float threshold = 0.5f);
+
+/**
+ * Evaluate the Rand-K baseline: uniformly select k arguments per
+ * example, score against the ground truth (paper Table 1, Rand.8).
+ */
+SelectorMetrics evaluateRandomSelector(const Dataset &dataset,
+                                       const std::vector<RawExample> &split,
+                                       size_t k, uint64_t seed);
+
+}  // namespace sp::core
+
+#endif  // SP_CORE_TRAIN_H

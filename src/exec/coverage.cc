@@ -1,0 +1,50 @@
+#include "exec/coverage.h"
+
+namespace sp::exec {
+
+void
+CoverageSet::addTrace(const std::vector<uint32_t> &trace)
+{
+    for (size_t i = 0; i < trace.size(); ++i) {
+        blocks_.insert(trace[i]);
+        if (i + 1 < trace.size())
+            edges_.insert(edgeKey(trace[i], trace[i + 1]));
+    }
+}
+
+void
+CoverageSet::merge(const CoverageSet &other)
+{
+    blocks_.insert(other.blocks_.begin(), other.blocks_.end());
+    edges_.insert(other.edges_.begin(), other.edges_.end());
+}
+
+size_t
+CoverageSet::countNewBlocks(const CoverageSet &other) const
+{
+    size_t count = 0;
+    for (uint32_t b : other.blocks_)
+        count += (blocks_.count(b) == 0);
+    return count;
+}
+
+size_t
+CoverageSet::countNewEdges(const CoverageSet &other) const
+{
+    size_t count = 0;
+    for (uint64_t e : other.edges_)
+        count += (edges_.count(e) == 0);
+    return count;
+}
+
+std::vector<uint32_t>
+CoverageSet::newBlocks(const CoverageSet &other) const
+{
+    std::vector<uint32_t> result;
+    for (uint32_t b : other.blocks_)
+        if (blocks_.count(b) == 0)
+            result.push_back(b);
+    return result;
+}
+
+}  // namespace sp::exec

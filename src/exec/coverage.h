@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Coverage accounting: sets of covered basic blocks and of directed
+ * block-to-block edges ("unique, directional pairs of basic blocks",
+ * §5.3.1). Blocks drive the mutation-query graph and dataset targets;
+ * edges are the metric the paper's Figure 6 reports.
+ */
+#ifndef SP_EXEC_COVERAGE_H
+#define SP_EXEC_COVERAGE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace sp::exec {
+
+/** Pack a directed edge into one key. */
+inline uint64_t
+edgeKey(uint32_t from, uint32_t to)
+{
+    return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+/** A set of covered blocks and edges. */
+class CoverageSet
+{
+  public:
+    /**
+     * Fold one call's block trace in: every visited block, and every
+     * consecutive pair as a directed edge.
+     */
+    void addTrace(const std::vector<uint32_t> &trace);
+
+    /** Merge another coverage set into this one. */
+    void merge(const CoverageSet &other);
+
+    /** Blocks/edges in `other` that this set lacks. */
+    size_t countNewBlocks(const CoverageSet &other) const;
+    size_t countNewEdges(const CoverageSet &other) const;
+
+    /** Blocks in `other` absent here (the paper's c_ij \ c_i). */
+    std::vector<uint32_t> newBlocks(const CoverageSet &other) const;
+
+    bool containsBlock(uint32_t block) const
+    {
+        return blocks_.count(block) != 0;
+    }
+    bool containsEdge(uint32_t from, uint32_t to) const
+    {
+        return edges_.count(edgeKey(from, to)) != 0;
+    }
+
+    size_t blockCount() const { return blocks_.size(); }
+    size_t edgeCount() const { return edges_.size(); }
+    bool empty() const { return blocks_.empty(); }
+
+    const std::unordered_set<uint32_t> &blocks() const { return blocks_; }
+    const std::unordered_set<uint64_t> &edges() const { return edges_; }
+
+  private:
+    std::unordered_set<uint32_t> blocks_;
+    std::unordered_set<uint64_t> edges_;
+};
+
+}  // namespace sp::exec
+
+#endif  // SP_EXEC_COVERAGE_H

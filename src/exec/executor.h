@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Program execution over the simulated kernel.
+ *
+ * Every run starts from a pristine kernel snapshot (the VM-snapshot
+ * discipline of §3.1), dispatches the program's calls sequentially,
+ * resolves resource references to the ids produced by earlier calls,
+ * and aggregates block/edge coverage. In noisy mode (the default for
+ * fuzzing, emulating the network-RPC transport) the kernel may execute
+ * stray interrupt blocks and flaky bugs can trigger; deterministic mode
+ * (emulating the virtio transport used for data collection) removes
+ * both noise sources.
+ */
+#ifndef SP_EXEC_EXECUTOR_H
+#define SP_EXEC_EXECUTOR_H
+
+#include <vector>
+
+#include "exec/coverage.h"
+#include "kernel/kernel.h"
+#include "prog/value.h"
+#include "util/rng.h"
+
+namespace sp::exec {
+
+/** Execution configuration. */
+struct ExecOptions
+{
+    /** Deterministic (virtio-style) execution: no noise, no flaky bugs. */
+    bool deterministic = true;
+    /** Seed of the noise stream for non-deterministic mode. */
+    uint64_t noise_seed = 0;
+};
+
+/** Trace of one executed call. */
+struct CallTrace
+{
+    uint32_t call_index = 0;
+    uint32_t syscall_id = 0;
+    std::vector<uint32_t> blocks;
+    uint64_t ret = 0;
+    bool crashed = false;
+};
+
+/** Result of executing a whole program. */
+struct ExecResult
+{
+    std::vector<CallTrace> calls;
+    CoverageSet coverage;
+    bool crashed = false;
+    uint32_t bug_index = 0;   ///< valid when crashed
+    size_t crash_call = 0;    ///< call index that crashed
+};
+
+/** Executes programs against one kernel. */
+class Executor
+{
+  public:
+    Executor(const kern::Kernel &kernel, const ExecOptions &opts = {});
+
+    /** Execute `prog` from a fresh kernel state. */
+    ExecResult run(const prog::Prog &prog);
+
+    /** The kernel under test. */
+    const kern::Kernel &kernel() const { return kernel_; }
+
+    /** Total calls dispatched so far (throughput accounting). */
+    uint64_t callsExecuted() const { return calls_executed_; }
+
+    /** Total programs executed so far. */
+    uint64_t programsExecuted() const { return programs_executed_; }
+
+  private:
+    const kern::Kernel &kernel_;
+    ExecOptions opts_;
+    Rng noise_;
+    uint64_t calls_executed_ = 0;
+    uint64_t programs_executed_ = 0;
+};
+
+}  // namespace sp::exec
+
+#endif  // SP_EXEC_EXECUTOR_H

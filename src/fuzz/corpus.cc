@@ -1,0 +1,49 @@
+#include "fuzz/corpus.h"
+
+#include "util/logging.h"
+
+namespace sp::fuzz {
+
+bool
+Corpus::maybeAdd(const prog::Prog &program, const exec::ExecResult &result,
+                 uint64_t exec_counter)
+{
+    const size_t new_edges = total_.countNewEdges(result.coverage);
+    total_.merge(result.coverage);
+    if (new_edges == 0)
+        return false;
+    const uint64_t hash = program.hash();
+    if (!hashes_.insert(hash).second)
+        return false;
+
+    CorpusEntry entry;
+    entry.program.calls = program.calls;  // deep copy
+    entry.result = result;
+    entry.content_hash = hash;
+    entry.admitted_at_exec = exec_counter;
+    entries_.push_back(std::move(entry));
+    return true;
+}
+
+const CorpusEntry &
+Corpus::pick(Rng &rng) const
+{
+    SP_ASSERT(!entries_.empty(), "pick from an empty corpus");
+    // Bias toward the newest quarter of the corpus half the time:
+    // fresh entries sit at the coverage frontier.
+    if (entries_.size() >= 8 && rng.chance(0.5)) {
+        const size_t quarter = entries_.size() / 4;
+        const size_t start = entries_.size() - quarter;
+        return entries_[start + rng.below(quarter)];
+    }
+    return entries_[rng.below(entries_.size())];
+}
+
+const CorpusEntry &
+Corpus::entry(size_t index) const
+{
+    SP_ASSERT(index < entries_.size());
+    return entries_[index];
+}
+
+}  // namespace sp::fuzz

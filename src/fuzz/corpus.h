@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The fuzzing corpus: deduplicated programs that each contributed new
+ * edge coverage, plus the aggregated coverage they represent. Mirrors
+ * Syzkaller's corpus discipline (update_corpus in Figure 1): a mutant
+ * enters the corpus iff it triggered at least one edge the corpus has
+ * not seen.
+ */
+#ifndef SP_FUZZ_CORPUS_H
+#define SP_FUZZ_CORPUS_H
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/executor.h"
+#include "prog/value.h"
+#include "util/rng.h"
+
+namespace sp::fuzz {
+
+/** One corpus entry: a program and the execution that admitted it. */
+struct CorpusEntry
+{
+    prog::Prog program;
+    exec::ExecResult result;
+    uint64_t content_hash = 0;
+    uint64_t admitted_at_exec = 0;  ///< executions counter at admission
+};
+
+/** Coverage-growing program set. */
+class Corpus
+{
+  public:
+    /**
+     * Admit `program` iff its execution added edge coverage over the
+     * corpus total (and it is not a duplicate). Returns true when
+     * admitted. The coverage total grows either way.
+     */
+    bool maybeAdd(const prog::Prog &program,
+                  const exec::ExecResult &result, uint64_t exec_counter);
+
+    /** Pick an entry to mutate, biased toward recent additions. */
+    const CorpusEntry &pick(Rng &rng) const;
+
+    /** Entry by index. */
+    const CorpusEntry &entry(size_t index) const;
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Aggregated coverage over every executed program (not just kept). */
+    const exec::CoverageSet &totalCoverage() const { return total_; }
+
+  private:
+    std::vector<CorpusEntry> entries_;
+    std::unordered_set<uint64_t> hashes_;
+    exec::CoverageSet total_;
+};
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_CORPUS_H

@@ -1,0 +1,156 @@
+#include "fuzz/fuzzer.h"
+
+#include "prog/gen.h"
+#include "util/logging.h"
+
+namespace sp::fuzz {
+
+namespace {
+
+exec::ExecOptions
+execOptionsFor(const FuzzOptions &opts)
+{
+    exec::ExecOptions exec_opts;
+    exec_opts.deterministic = !opts.noisy;
+    exec_opts.noise_seed = opts.seed ^ 0xabcdef;
+    return exec_opts;
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
+               std::unique_ptr<mut::Localizer> localizer)
+    : kernel_(kernel), opts_(std::move(options)),
+      localizer_(std::move(localizer)),
+      mutator_(kernel.table(), opts_.mutator),
+      executor_(kernel, execOptionsFor(opts_)), crashes_(kernel),
+      rng_(opts_.seed)
+{
+    SP_ASSERT(localizer_ != nullptr, "fuzzer needs a localizer");
+}
+
+void
+Fuzzer::executeOne(const prog::Prog &program)
+{
+    auto result = executor_.run(program);
+    ++execs_;
+    if (result.crashed)
+        crashes_.record(result.bug_index, program, execs_);
+    corpus_.maybeAdd(program, result, execs_);
+    maybeCheckpoint();
+}
+
+void
+Fuzzer::maybeCheckpoint()
+{
+    if (execs_ % opts_.checkpoint_every != 0)
+        return;
+    Checkpoint cp;
+    cp.execs = execs_;
+    cp.edges = corpus_.totalCoverage().edgeCount();
+    cp.blocks = corpus_.totalCoverage().blockCount();
+    cp.crashes = crashes_.uniqueCrashes();
+    timeline_.push_back(cp);
+}
+
+void
+Fuzzer::seedCorpus()
+{
+    auto seeds = prog::generateCorpus(rng_, kernel_.table(),
+                                      opts_.seed_corpus_size,
+                                      opts_.mutator.gen);
+    for (const auto &seed : seeds)
+        executeOne(seed);
+}
+
+FuzzReport
+Fuzzer::run()
+{
+    return runUntil([](const Fuzzer &) { return false; });
+}
+
+FuzzReport
+Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
+{
+    if (corpus_.empty())
+        seedCorpus();
+
+    while (execs_ < opts_.exec_budget && !stop(*this)) {
+        if (corpus_.empty()) {
+            // Everything crashed at seed time; regenerate.
+            seedCorpus();
+            continue;
+        }
+        // Copy the picked entry out: executing mutants below can grow
+        // the corpus vector and invalidate references into it.
+        prog::Prog base_program;
+        exec::ExecResult base_result;
+        {
+            const CorpusEntry &picked =
+                opts_.choose_test ? opts_.choose_test(corpus_, rng_)
+                                  : corpus_.pick(rng_);
+            base_program.calls = picked.program.calls;
+            base_result = picked.result;
+        }
+
+        // Argument mutations at localized sites. The base program is
+        // copied once per instantiated mutant.
+        auto sites = localizer_->localizeWithResult(
+            base_program, base_result, rng_, opts_.max_sites_per_base);
+        for (const auto &site : sites) {
+            for (size_t m = 0;
+                 m < opts_.mutations_per_site &&
+                 execs_ < opts_.exec_budget;
+                 ++m) {
+                prog::Prog mutant;
+                mutant.calls = base_program.calls;
+                if (!mutator_.instantiateArgMutation(mutant, site, rng_))
+                    break;
+                executeOne(mutant);
+            }
+            if (execs_ >= opts_.exec_budget || stop(*this))
+                break;
+        }
+
+        // Structural mutations (insertion/removal) with their own
+        // selector weights — the "existing random mutators" lane.
+        for (size_t s = 0; s < opts_.structural_mutations_per_base &&
+                           execs_ < opts_.exec_budget;
+             ++s) {
+            prog::Prog mutant;
+            mutant.calls = base_program.calls;
+            switch (mutator_.selectType(rng_, mutant)) {
+              case mut::MutationType::ArgumentMutation: {
+                // Selector landed on arguments: one random-site mutant
+                // (the fallback lane even when a learned localizer is
+                // installed, §3.4).
+                mut::RandomLocalizer fallback;
+                auto fallback_sites =
+                    fallback.localize(mutant, rng_, 1);
+                if (!fallback_sites.empty()) {
+                    mutator_.instantiateArgMutation(
+                        mutant, fallback_sites[0], rng_);
+                }
+                break;
+              }
+              case mut::MutationType::CallInsertion:
+                mutator_.insertCall(mutant, rng_);
+                break;
+              case mut::MutationType::CallRemoval:
+                mutator_.removeCall(mutant, rng_);
+                break;
+            }
+            executeOne(mutant);
+        }
+    }
+
+    FuzzReport report;
+    report.timeline = timeline_;
+    report.final_edges = corpus_.totalCoverage().edgeCount();
+    report.final_blocks = corpus_.totalCoverage().blockCount();
+    report.execs = execs_;
+    report.corpus_size = corpus_.size();
+    return report;
+}
+
+}  // namespace sp::fuzz

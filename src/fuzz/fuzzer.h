@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The coverage-guided fuzzing loop (Figure 1 of the paper).
+ *
+ * One Fuzzer owns an executor, a corpus, a crash log and a mutation
+ * engine. Each iteration picks a base test (choose_test), asks the
+ * pluggable Localizer where to mutate arguments, instantiates several
+ * mutations per localized site, and executes the mutants; call
+ * insertion/removal mutations run alongside with their Syzkaller
+ * weights. Swapping the Localizer is exactly how Snowplow is built on
+ * top of this loop (src/core/snowplow.h).
+ *
+ * Time is virtual: the budget is counted in executed programs, the
+ * resource both compared systems share (§5.3's same-machine-cost
+ * comparison). Coverage is checkpointed on a fixed execution grid so
+ * runs are directly comparable.
+ */
+#ifndef SP_FUZZ_FUZZER_H
+#define SP_FUZZ_FUZZER_H
+
+#include <functional>
+#include <memory>
+
+#include "fuzz/corpus.h"
+#include "fuzz/crash.h"
+#include "mutate/mutator.h"
+
+namespace sp::fuzz {
+
+/** Fuzzing-loop configuration. */
+struct FuzzOptions
+{
+    uint64_t exec_budget = 50000;     ///< program executions ("time")
+    size_t seed_corpus_size = 40;
+    uint64_t seed = 1;
+    bool noisy = true;                ///< nondeterministic execution
+    uint64_t checkpoint_every = 500;  ///< coverage timeline grid
+    /** Instantiations per localized argument site. */
+    size_t mutations_per_site = 3;
+    /** Max argument sites requested from the localizer per base. */
+    size_t max_sites_per_base = 6;
+    /** Non-argument (insert/remove) mutants per base pick. */
+    size_t structural_mutations_per_base = 2;
+    mut::MutatorOptions mutator;
+    /**
+     * Optional choose_test override (Figure 1): picks the corpus entry
+     * to mutate. Directed fuzzing installs a distance-guided picker
+     * here; when unset the corpus default (recency-biased random) runs.
+     */
+    std::function<const CorpusEntry &(const Corpus &, Rng &)> choose_test;
+};
+
+/** One coverage checkpoint. */
+struct Checkpoint
+{
+    uint64_t execs = 0;
+    size_t edges = 0;
+    size_t blocks = 0;
+    size_t crashes = 0;
+};
+
+/** Outcome of one fuzzing campaign. */
+struct FuzzReport
+{
+    std::vector<Checkpoint> timeline;
+    size_t final_edges = 0;
+    size_t final_blocks = 0;
+    uint64_t execs = 0;
+    size_t corpus_size = 0;
+};
+
+/** The fuzzing loop. */
+class Fuzzer
+{
+  public:
+    /**
+     * @param kernel     kernel under test
+     * @param options    loop configuration
+     * @param localizer  argument-mutation localizer (ownership taken)
+     */
+    Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
+           std::unique_ptr<mut::Localizer> localizer);
+
+    /** Run until the execution budget is exhausted. */
+    FuzzReport run();
+
+    /**
+     * Run until `stop` returns true or the budget is exhausted. The
+     * predicate sees the fuzzer after every execution (directed mode
+     * uses this to stop on reaching the target).
+     */
+    FuzzReport runUntil(const std::function<bool(const Fuzzer &)> &stop);
+
+    /** @name Introspection */
+    /** @{ */
+    const Corpus &corpus() const { return corpus_; }
+    CrashLog &crashes() { return crashes_; }
+    const CrashLog &crashes() const { return crashes_; }
+    uint64_t execs() const { return execs_; }
+    const kern::Kernel &kernel() const { return kernel_; }
+    /** @} */
+
+  private:
+    /** Execute one program, updating corpus, crashes and timeline. */
+    void executeOne(const prog::Prog &program);
+
+    /** Seed the corpus with random programs. */
+    void seedCorpus();
+
+    void maybeCheckpoint();
+
+    const kern::Kernel &kernel_;
+    FuzzOptions opts_;
+    std::unique_ptr<mut::Localizer> localizer_;
+    mut::Mutator mutator_;
+    exec::Executor executor_;
+    Corpus corpus_;
+    CrashLog crashes_;
+    Rng rng_;
+    uint64_t execs_ = 0;
+    std::vector<Checkpoint> timeline_;
+};
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_FUZZER_H

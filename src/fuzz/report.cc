@@ -1,0 +1,57 @@
+#include "fuzz/report.h"
+
+#include <sstream>
+
+#include "exec/executor.h"
+#include "prog/serialize.h"
+
+namespace sp::fuzz {
+
+std::string
+formatCrashReport(const kern::Kernel &kernel, const CrashRecord &record)
+{
+    std::ostringstream out;
+    out << "==================================================\n";
+    out << "BUG: " << record.description << "\n";
+    out << "detector: " << kern::bugKindName(record.kind) << "\n";
+    out << "location: " << record.location << "\n";
+    out << "kernel:   " << kernel.version() << "\n";
+    out << "status:   " << (record.known ? "known" : "NEW")
+        << (record.flaky ? ", timing-dependent" : "") << ", hit "
+        << record.hit_count << " time(s), first at execution "
+        << record.first_seen_exec << "\n";
+
+    // Recover the crashing call's block walk deterministically.
+    const prog::Prog &program =
+        record.reproduced ? record.reproducer : record.trigger;
+    exec::Executor executor(kernel);
+    auto result = executor.run(program);
+    if (result.crashed && result.bug_index == record.bug_index &&
+        !result.calls.empty()) {
+        const auto &crash_call = result.calls[result.crash_call];
+        const auto &decl =
+            kernel.table().byId(crash_call.syscall_id);
+        out << "\ncall trace (inside " << decl.name << "):\n";
+        for (auto it = crash_call.blocks.rbegin();
+             it != crash_call.blocks.rend(); ++it) {
+            const auto &bb = kernel.block(*it);
+            out << "  block " << bb.id << " [depth " << bb.depth
+                << "]";
+            if (bb.term == kern::Term::Branch)
+                out << "  if (" << bb.cond.describe() << ")";
+            if (kernel.bugAt(bb.id) != nullptr)
+                out << "  <- faulting block";
+            out << "\n";
+        }
+    } else if (record.flaky) {
+        out << "\ncall trace unavailable: crash requires a specific "
+               "interleaving (did not re-trigger deterministically)\n";
+    }
+
+    out << "\n" << (record.reproduced ? "reproducer" : "last trigger")
+        << ":\n" << prog::formatProg(program);
+    out << "==================================================\n";
+    return out.str();
+}
+
+}  // namespace sp::fuzz

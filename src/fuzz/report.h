@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Crash-report rendering: the syz-symbolize analog. Formats a
+ * deduplicated crash into a kernel-console-style report — detector
+ * banner, "call stack" of the basic blocks executed inside the
+ * crashing handler with their branch conditions, the triggering call,
+ * and the minimized reproducer — the artifact the paper's authors
+ * attach when reporting bugs to kernel developers (§5.3.2).
+ */
+#ifndef SP_FUZZ_REPORT_H
+#define SP_FUZZ_REPORT_H
+
+#include <string>
+
+#include "fuzz/crash.h"
+
+namespace sp::fuzz {
+
+/**
+ * Render one crash record as a console-style report. Re-executes the
+ * reproducer (or trigger) deterministically to recover the block trace
+ * of the crashing call; flaky crashes that do not re-trigger get a
+ * report without the trace section.
+ */
+std::string formatCrashReport(const kern::Kernel &kernel,
+                              const CrashRecord &record);
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_REPORT_H

@@ -1,0 +1,89 @@
+#include "fuzz/seedpool.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "prog/serialize.h"
+#include "util/logging.h"
+
+namespace sp::fuzz {
+
+namespace {
+
+void
+writeBlocks(const std::vector<const prog::Prog *> &programs,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        SP_FATAL("cannot open corpus file for writing: %s",
+                 path.c_str());
+    for (const auto *program : programs) {
+        out << prog::formatProg(*program) << "\n";
+    }
+    if (!out)
+        SP_FATAL("corpus write failed: %s", path.c_str());
+}
+
+}  // namespace
+
+void
+saveCorpus(const Corpus &corpus, const std::string &path)
+{
+    std::vector<const prog::Prog *> programs;
+    programs.reserve(corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i)
+        programs.push_back(&corpus.entry(i).program);
+    writeBlocks(programs, path);
+}
+
+void
+savePrograms(const std::vector<prog::Prog> &programs,
+             const std::string &path)
+{
+    std::vector<const prog::Prog *> pointers;
+    pointers.reserve(programs.size());
+    for (const auto &program : programs)
+        pointers.push_back(&program);
+    writeBlocks(pointers, path);
+}
+
+std::vector<prog::Prog>
+loadPrograms(const std::string &path, const prog::SyscallTable &table)
+{
+    std::ifstream in(path);
+    if (!in) {
+        SP_WARN("corpus file not found: %s", path.c_str());
+        return {};
+    }
+
+    std::vector<prog::Prog> programs;
+    std::string line, block;
+    size_t skipped = 0;
+    auto flush = [&] {
+        if (block.empty())
+            return;
+        auto parsed = prog::parseProg(block, table);
+        if (parsed.ok() && !parsed.prog->calls.empty())
+            programs.push_back(std::move(*parsed.prog));
+        else
+            ++skipped;
+        block.clear();
+    };
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            flush();
+        } else {
+            block += line;
+            block += '\n';
+        }
+    }
+    flush();
+    if (skipped > 0) {
+        SP_WARN("corpus load: skipped %zu unparsable programs from %s",
+                skipped, path.c_str());
+    }
+    return programs;
+}
+
+}  // namespace sp::fuzz

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Corpus persistence: save a fuzzing corpus to a text file in the
+ * Syzlang-like syntax and load it back as the seed pool of a later
+ * campaign — the equivalent of Syzkaller's corpus database (and of the
+ * Syzbot corpus downloads the paper bootstraps its dataset from, §5.1).
+ */
+#ifndef SP_FUZZ_SEEDPOOL_H
+#define SP_FUZZ_SEEDPOOL_H
+
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus.h"
+#include "prog/types.h"
+
+namespace sp::fuzz {
+
+/**
+ * Write every corpus program to `path`, one blank-line-separated
+ * program block per entry. Fatal on I/O error.
+ */
+void saveCorpus(const Corpus &corpus, const std::string &path);
+
+/** Write a plain program list (seed generation output). */
+void savePrograms(const std::vector<prog::Prog> &programs,
+                  const std::string &path);
+
+/**
+ * Load programs from `path` against `table`. Programs that no longer
+ * parse (e.g. the syscall table changed between kernel versions) are
+ * skipped with a warning; returns the programs that survived.
+ */
+std::vector<prog::Prog> loadPrograms(const std::string &path,
+                                     const prog::SyscallTable &table);
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_SEEDPOOL_H

@@ -1,0 +1,73 @@
+#include "graph/encode.h"
+
+#include <algorithm>
+
+#include "kernel/block.h"
+#include "util/logging.h"
+
+namespace sp::graph {
+
+EncodedGraph
+encodeGraph(const kern::Kernel &kernel, const QueryGraph &graph)
+{
+    EncodedGraph enc;
+    enc.num_nodes = static_cast<int32_t>(graph.nodes.size());
+    enc.node_kind.resize(graph.nodes.size());
+    enc.syscall_tok.assign(graph.nodes.size(), 0);
+    enc.arg_type_tok.assign(graph.nodes.size(), 0);
+    enc.arg_slot_tok.assign(graph.nodes.size(), 0);
+    enc.target_flag.assign(graph.nodes.size(), 0);
+    enc.block_tokens.assign(
+        graph.nodes.size() * EncodeVocab::kTokenWindow,
+        kern::token::kPad);
+
+    for (size_t i = 0; i < graph.nodes.size(); ++i) {
+        const Node &node = graph.nodes[i];
+        enc.node_kind[i] = static_cast<int32_t>(node.kind);
+        switch (node.kind) {
+          case NodeKind::Syscall:
+            enc.syscall_tok[i] = static_cast<int32_t>(
+                std::min<uint32_t>(node.syscall_id,
+                                   EncodeVocab::kSyscallVocab - 1));
+            break;
+          case NodeKind::Argument:
+            enc.arg_type_tok[i] = static_cast<int32_t>(
+                std::min<uint8_t>(node.arg_type_kind,
+                                  EncodeVocab::kArgTypeVocab - 1));
+            enc.arg_slot_tok[i] = static_cast<int32_t>(
+                std::min<uint16_t>(node.arg_slot,
+                                   kern::token::kMaxSlots - 1));
+            break;
+          case NodeKind::Covered:
+          case NodeKind::Alternative: {
+            const auto &tokens = kernel.block(node.block).tokens;
+            const size_t n = std::min<size_t>(
+                tokens.size(), EncodeVocab::kTokenWindow);
+            for (size_t t = 0; t < n; ++t) {
+                enc.block_tokens[i * EncodeVocab::kTokenWindow + t] =
+                    tokens[t];
+            }
+            enc.target_flag[i] = node.is_target ? 1 : 0;
+            break;
+          }
+        }
+    }
+
+    for (const Edge &edge : graph.edges) {
+        const auto kind = static_cast<size_t>(edge.kind);
+        enc.adj[kind].src.push_back(static_cast<int32_t>(edge.src));
+        enc.adj[kind].dst.push_back(static_cast<int32_t>(edge.dst));
+        // Reverse relation.
+        enc.adj[kNumEdgeKinds + kind].src.push_back(
+            static_cast<int32_t>(edge.dst));
+        enc.adj[kNumEdgeKinds + kind].dst.push_back(
+            static_cast<int32_t>(edge.src));
+    }
+
+    enc.argument_nodes.reserve(graph.argument_nodes.size());
+    for (uint32_t index : graph.argument_nodes)
+        enc.argument_nodes.push_back(static_cast<int32_t>(index));
+    return enc;
+}
+
+}  // namespace sp::graph

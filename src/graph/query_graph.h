@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The argument-mutation query graph (paper §3.2, Figure 5).
+ *
+ * One heterogeneous graph joins the user-space test program and the
+ * kernel coverage it triggered:
+ *
+ *  - *Syscall* nodes (one per call) and *Argument* nodes (one per
+ *    mutable argument), connected by call-ordering, argument-ordering
+ *    and argument-in/out (data-flow) edges;
+ *  - *Covered* block nodes (kernel blocks the base test executed) with
+ *    covered control-flow edges, and *Alternative* block nodes (blocks
+ *    one not-taken branch away from the coverage) attached by uncovered
+ *    control-flow edges — some alternatives flagged as the *target*;
+ *  - kernel/user *context-switch* edges joining each syscall node to
+ *    its handler's entry block and to the last block its invocation
+ *    executed.
+ *
+ * The GNN predicts a MUTATE / NOT-MUTATE label for every Argument node.
+ */
+#ifndef SP_GRAPH_QUERY_GRAPH_H
+#define SP_GRAPH_QUERY_GRAPH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "kernel/kernel.h"
+#include "mutate/localizer.h"
+#include "prog/value.h"
+
+namespace sp::graph {
+
+/** Node kinds of the query graph. */
+enum class NodeKind : uint8_t {
+    Syscall,
+    Argument,
+    Covered,
+    Alternative,
+};
+
+/** Edge kinds (each is also materialized in reverse for the GNN). */
+enum class EdgeKind : uint8_t {
+    CallOrder,      ///< syscall i -> syscall i+1
+    ArgOrder,       ///< argument j -> argument j+1 within a call
+    ArgInOut,       ///< argument -> its syscall; producer -> consumer arg
+    CoveredFlow,    ///< covered block -> covered block (executed edge)
+    UncoveredFlow,  ///< covered block -> alternative block (not taken)
+    CtxSwitch,      ///< syscall <-> kernel entry/exit blocks
+    /**
+     * SlotRead: covered branch block -> the argument node (of the call
+     * that executed it) whose flattened slot the branch predicate
+     * reads. This is the static argument-dependence edge the paper's
+     * white-box analysis extracts from the kernel binary (its Angr CFG
+     * recovery plus the Transformer reading `cmp` operands); adding it
+     * explicitly keeps the query graph's information content equal to
+     * the paper's while letting a compact GNN exploit it.
+     */
+    SlotRead,
+};
+constexpr size_t kNumEdgeKinds = 7;
+
+/** One node. Only the fields of its kind are meaningful. */
+struct Node
+{
+    NodeKind kind = NodeKind::Syscall;
+    uint32_t syscall_id = 0;    ///< Syscall
+    uint16_t call_index = 0;    ///< Syscall / Argument
+    uint16_t arg_slot = 0;      ///< Argument: first flattened slot
+    uint8_t arg_type_kind = 0;  ///< Argument: prog::TypeKind
+    uint32_t block = 0;         ///< Covered / Alternative: kernel block
+    bool is_target = false;     ///< Alternative flagged as desired
+};
+
+/** One directed edge. */
+struct Edge
+{
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    EdgeKind kind = EdgeKind::CallOrder;
+};
+
+/** The assembled query graph. */
+struct QueryGraph
+{
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+
+    /** Indices of Argument nodes (the prediction targets), in order. */
+    std::vector<uint32_t> argument_nodes;
+
+    /** Decode table: argument node -> mutation site in the program. */
+    std::vector<mut::ArgLocation> argument_locations;
+
+    /** Count nodes of one kind. */
+    size_t countNodes(NodeKind kind) const;
+
+    /** Count edges of one kind. */
+    size_t countEdges(EdgeKind kind) const;
+};
+
+/**
+ * Build the query graph for `prog` given its execution result on
+ * `kernel`. `targets` is the desired coverage: kernel block ids the
+ * mutation should reach (they are matched against the one-hop
+ * alternative frontier; targets not on the frontier are ignored, and an
+ * empty list builds an undirected query with no target marking).
+ */
+QueryGraph buildQueryGraph(const kern::Kernel &kernel,
+                           const prog::Prog &prog,
+                           const exec::ExecResult &result,
+                           const std::vector<uint32_t> &targets);
+
+/**
+ * The one-hop alternative frontier of a coverage set: uncovered blocks
+ * reachable by a single not-taken branch from a covered block (§3.1's
+ * "blocks within one branch of c_i").
+ */
+std::vector<uint32_t> alternativeFrontier(const kern::Kernel &kernel,
+                                          const exec::CoverageSet &cov);
+
+}  // namespace sp::graph
+
+#endif  // SP_GRAPH_QUERY_GRAPH_H

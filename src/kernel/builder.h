@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Construction API for simulated kernels. Both the hand-written
+ * subsystems (VFS/SCSI/NET) and the synthetic kernel generator assemble
+ * kernels through this builder, which owns all invariant checking
+ * (dense syscall ids, terminator completeness, slot bounds).
+ */
+#ifndef SP_KERNEL_BUILDER_H
+#define SP_KERNEL_BUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace sp::kern {
+
+/** Incrementally builds a Kernel; finish() validates and seals it. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string version);
+
+    /** Register a resource kind; returns its dense id. Idempotent. */
+    ResourceKindId addResourceKind(const std::string &name);
+
+    /** Reserve `count` global state flags; returns the first index. */
+    uint16_t addFlags(uint16_t count);
+
+    /**
+     * Begin a handler for `decl` (appended to the syscall table with the
+     * next dense id; the decl's id field is overwritten). Subsequent
+     * addBlock calls attach to this handler until the next beginHandler.
+     * Returns the syscall id.
+     */
+    uint32_t beginHandler(prog::SyscallDecl decl);
+
+    /** Add a post-return effect to the current handler. */
+    void addEffect(const SyscallEffect &effect);
+
+    /**
+     * Add a block to the current handler. The first block added becomes
+     * the handler entry. Tokens default to bodyTokens(id).
+     * Terminator defaults to Return until setBranch/setFallthrough.
+     */
+    uint32_t addBlock(uint16_t depth = 0,
+                      std::vector<uint16_t> tokens = {});
+
+    /**
+     * Add a block to an *existing* handler (used by the kernel-version
+     * evolution pass, which grows earlier handlers after later ones
+     * were begun). Never changes the handler's entry.
+     */
+    uint32_t addBlockTo(uint32_t handler_id, uint16_t depth = 0,
+                        std::vector<uint16_t> tokens = {});
+
+    /** Make `block` branch on `cond` to taken/fallthrough. */
+    void setBranch(uint32_t block, const Cond &cond, uint32_t taken,
+                   uint32_t fallthrough);
+
+    /** Make `block` fall through to `next`. */
+    void setFallthrough(uint32_t block, uint32_t next);
+
+    /** Mark `block` as a handler return point. */
+    void setReturn(uint32_t block);
+
+    /** Plant a bug at `block`. */
+    void addBug(BugSite bug);
+
+    /** Register a block as spurious-interrupt target (noise source). */
+    void addInterruptBlock(uint32_t block);
+
+    /** Current number of blocks (next block id). */
+    uint32_t numBlocks() const;
+
+    /** Read back a block under construction. */
+    const BasicBlock &blockAt(uint32_t id) const;
+
+    /** True when a bug is already planted at `block`. */
+    bool hasBugAt(uint32_t block) const;
+
+    /** Declaration of an already-begun handler. */
+    const prog::SyscallDecl &declOf(uint32_t handler_id) const;
+
+    /**
+     * Validate every invariant (handler count matches table, every
+     * branch has two valid targets, handler CFGs are acyclic, slots
+     * referenced by conds are in range) and return the sealed kernel.
+     * The builder must not be used afterwards.
+     */
+    Kernel finish();
+
+  private:
+    Kernel kernel_;
+    bool finished_ = false;
+};
+
+}  // namespace sp::kern
+
+#endif  // SP_KERNEL_BUILDER_H

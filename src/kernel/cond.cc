@@ -1,0 +1,93 @@
+#include "kernel/cond.h"
+
+#include <cstdio>
+
+#include "kernel/state.h"
+#include "util/logging.h"
+
+namespace sp::kern {
+
+std::string
+Cond::describe() const
+{
+    char buf[128];
+    switch (kind) {
+      case CondKind::Always:
+        return "true";
+      case CondKind::ArgEq:
+        std::snprintf(buf, sizeof(buf), "arg[%u] == 0x%llx", slot,
+                      static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgNeq:
+        std::snprintf(buf, sizeof(buf), "arg[%u] != 0x%llx", slot,
+                      static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgLt:
+        std::snprintf(buf, sizeof(buf), "arg[%u] < 0x%llx", slot,
+                      static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgGe:
+        std::snprintf(buf, sizeof(buf), "arg[%u] >= 0x%llx", slot,
+                      static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgMaskAll:
+        std::snprintf(buf, sizeof(buf), "(arg[%u] & 0x%llx) == mask",
+                      slot, static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgMaskNone:
+        std::snprintf(buf, sizeof(buf), "(arg[%u] & 0x%llx) == 0", slot,
+                      static_cast<unsigned long long>(a));
+        return buf;
+      case CondKind::ArgInRange:
+        std::snprintf(buf, sizeof(buf), "0x%llx <= arg[%u] <= 0x%llx",
+                      static_cast<unsigned long long>(a), slot,
+                      static_cast<unsigned long long>(b));
+        return buf;
+      case CondKind::StateFlagSet:
+        std::snprintf(buf, sizeof(buf), "state.flag[%u]", flag);
+        return buf;
+      case CondKind::ResourceAlive:
+        std::snprintf(buf, sizeof(buf), "alive(arg[%u], kind=%u)", slot,
+                      flag);
+        return buf;
+    }
+    SP_PANIC("unreachable cond kind");
+}
+
+bool
+evalCond(const Cond &cond, const std::vector<uint64_t> &slots,
+         const KernelState &state)
+{
+    auto slotValue = [&]() -> uint64_t {
+        SP_ASSERT(cond.slot < slots.size(),
+                  "cond reads slot %u of %zu", cond.slot, slots.size());
+        return slots[cond.slot];
+    };
+    switch (cond.kind) {
+      case CondKind::Always:
+        return true;
+      case CondKind::ArgEq:
+        return slotValue() == cond.a;
+      case CondKind::ArgNeq:
+        return slotValue() != cond.a;
+      case CondKind::ArgLt:
+        return slotValue() < cond.a;
+      case CondKind::ArgGe:
+        return slotValue() >= cond.a;
+      case CondKind::ArgMaskAll:
+        return (slotValue() & cond.a) == cond.a;
+      case CondKind::ArgMaskNone:
+        return (slotValue() & cond.a) == 0;
+      case CondKind::ArgInRange: {
+        const uint64_t v = slotValue();
+        return v >= cond.a && v <= cond.b;
+      }
+      case CondKind::StateFlagSet:
+        return state.flag(cond.flag);
+      case CondKind::ResourceAlive:
+        return state.aliveOfKind(slotValue(), cond.flag);
+    }
+    SP_PANIC("unreachable cond kind");
+}
+
+}  // namespace sp::kern

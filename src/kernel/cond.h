@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Branch predicates of the simulated kernel.
+ *
+ * A Cond reads the flattened argument slots of the executing system call
+ * (see prog/flatten.h) and/or the kernel state, and decides which way a
+ * conditional block branches. Predicates over specific slots are what
+ * make kernel coverage *argument-dependent* — the property the learned
+ * mutator exploits.
+ */
+#ifndef SP_KERNEL_COND_H
+#define SP_KERNEL_COND_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sp::kern {
+
+class KernelState;
+
+/** Predicate kinds. */
+enum class CondKind : uint8_t {
+    Always,         ///< constant true (used for unconditional edges)
+    ArgEq,          ///< slots[slot] == a
+    ArgNeq,         ///< slots[slot] != a
+    ArgLt,          ///< slots[slot] <  a (unsigned)
+    ArgGe,          ///< slots[slot] >= a (unsigned)
+    ArgMaskAll,     ///< (slots[slot] & a) == a
+    ArgMaskNone,    ///< (slots[slot] & a) == 0
+    ArgInRange,     ///< a <= slots[slot] <= b (unsigned)
+    StateFlagSet,   ///< kernel flag `flag` is set
+    ResourceAlive,  ///< slots[slot] names a live resource of kind `flag`
+};
+
+/** One branch predicate. */
+struct Cond
+{
+    CondKind kind = CondKind::Always;
+    uint16_t slot = 0;   ///< argument slot index (when applicable)
+    uint64_t a = 0;      ///< constant / mask / range low
+    uint64_t b = 0;      ///< range high
+    uint16_t flag = 0;   ///< state flag index or resource kind id
+
+    /** Human-readable rendering for logs and crash reports. */
+    std::string describe() const;
+};
+
+/** Evaluate `cond` against a call's slots and the kernel state. */
+bool evalCond(const Cond &cond, const std::vector<uint64_t> &slots,
+              const KernelState &state);
+
+}  // namespace sp::kern
+
+#endif  // SP_KERNEL_COND_H

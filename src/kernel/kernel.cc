@@ -1,0 +1,263 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sp::kern {
+
+namespace token {
+
+uint16_t
+slotToken(uint16_t slot)
+{
+    return kSlotBase + std::min<uint16_t>(slot, kMaxSlots - 1);
+}
+
+uint16_t
+constToken(uint64_t value)
+{
+    return kConstBase +
+           static_cast<uint16_t>(hashU64(value) % kConstBuckets);
+}
+
+uint16_t
+regToken(uint16_t r)
+{
+    return kRegBase + static_cast<uint16_t>(r % kRegCount);
+}
+
+}  // namespace token
+
+std::vector<uint16_t>
+branchTokens(const Cond &cond)
+{
+    using namespace token;
+    std::vector<uint16_t> tokens;
+    switch (cond.kind) {
+      case CondKind::Always:
+        tokens = {kOpMov, regToken(0), kOpJe};
+        break;
+      case CondKind::ArgEq:
+        tokens = {kOpCmp, slotToken(cond.slot), constToken(cond.a),
+                  kOpJe};
+        break;
+      case CondKind::ArgNeq:
+        tokens = {kOpCmp, slotToken(cond.slot), constToken(cond.a),
+                  kOpJne};
+        break;
+      case CondKind::ArgLt:
+        tokens = {kOpCmp, slotToken(cond.slot), constToken(cond.a),
+                  kOpJb};
+        break;
+      case CondKind::ArgGe:
+        tokens = {kOpCmp, slotToken(cond.slot), constToken(cond.a),
+                  kOpJae};
+        break;
+      case CondKind::ArgMaskAll:
+        tokens = {kOpTest, slotToken(cond.slot), constToken(cond.a),
+                  kOpJne};
+        break;
+      case CondKind::ArgMaskNone:
+        tokens = {kOpTest, slotToken(cond.slot), constToken(cond.a),
+                  kOpJe};
+        break;
+      case CondKind::ArgInRange:
+        tokens = {kOpCmp, slotToken(cond.slot), constToken(cond.a),
+                  kOpJae, kOpCmp, slotToken(cond.slot),
+                  constToken(cond.b), kOpJb};
+        break;
+      case CondKind::StateFlagSet:
+        tokens = {kOpState, constToken(cond.flag), kOpJne};
+        break;
+      case CondKind::ResourceAlive:
+        tokens = {kOpResCheck, slotToken(cond.slot),
+                  constToken(cond.flag), kOpJne};
+        break;
+    }
+    return tokens;
+}
+
+std::vector<uint16_t>
+bodyTokens(uint32_t block_id)
+{
+    using namespace token;
+    // Deterministic pseudo-random body so distinct blocks embed
+    // distinctly but identical structure hashes identically.
+    uint64_t h = hashU64(block_id);
+    std::vector<uint16_t> tokens;
+    const int n = 2 + static_cast<int>(h % 3);
+    static const uint16_t ops[] = {kOpMov, kOpLoad, kOpStore, kOpCall,
+                                   kOpAnd};
+    for (int i = 0; i < n; ++i) {
+        h = hashU64(h + static_cast<uint64_t>(i));
+        tokens.push_back(ops[h % (sizeof(ops) / sizeof(ops[0]))]);
+        tokens.push_back(regToken(static_cast<uint16_t>(h >> 8)));
+    }
+    return tokens;
+}
+
+const char *
+bugKindName(BugKind kind)
+{
+    switch (kind) {
+      case BugKind::NullDeref:
+        return "Null pointer dereference";
+      case BugKind::PagingFault:
+        return "Paging fault";
+      case BugKind::AssertViolation:
+        return "Explicit assertion violation";
+      case BugKind::GeneralProtectionFault:
+        return "General protection fault";
+      case BugKind::OutOfBounds:
+        return "Out of bounds access";
+      case BugKind::Warning:
+        return "Warning";
+      case BugKind::Other:
+        return "Other";
+    }
+    SP_PANIC("unreachable bug kind");
+}
+
+const BasicBlock &
+Kernel::block(uint32_t id) const
+{
+    SP_ASSERT(id < blocks_.size(), "block id %u out of range", id);
+    return blocks_[id];
+}
+
+const Handler &
+Kernel::handler(uint32_t syscall_id) const
+{
+    SP_ASSERT(syscall_id < handlers_.size(),
+              "syscall id %u out of range", syscall_id);
+    return handlers_[syscall_id];
+}
+
+ResourceKindId
+Kernel::resourceKindId(const std::string &name) const
+{
+    for (size_t i = 0; i < resource_kinds_.size(); ++i)
+        if (resource_kinds_[i] == name)
+            return static_cast<ResourceKindId>(i);
+    SP_FATAL("unknown resource kind: %s", name.c_str());
+}
+
+CallResult
+Kernel::executeCall(uint32_t syscall_id,
+                    const std::vector<uint64_t> &slots, KernelState &state,
+                    std::vector<uint32_t> &trace, Rng *noise) const
+{
+    const Handler &h = handler(syscall_id);
+    SP_ASSERT(slots.size() == h.num_slots,
+              "syscall %u expects %u slots, got %zu", syscall_id,
+              h.num_slots, slots.size());
+
+    CallResult result;
+
+    // Stray interrupt noise: with the network-RPC transport the guest
+    // occasionally runs unrelated kernel code mid-test (§3.1). The
+    // deterministic virtio mode (noise == nullptr) never does.
+    if (noise != nullptr && !interrupt_blocks_.empty() &&
+        noise->chance(0.02)) {
+        trace.push_back(
+            interrupt_blocks_[noise->below(interrupt_blocks_.size())]);
+    }
+
+    uint32_t current = h.entry;
+    // Handler CFGs are DAGs; the cap is a defensive bound only.
+    const size_t step_cap = blocks_.size() + 1;
+    for (size_t steps = 0; steps < step_cap; ++steps) {
+        SP_ASSERT(current < blocks_.size(),
+                  "handler walked to invalid block");
+        const BasicBlock &bb = blocks_[current];
+        trace.push_back(current);
+
+        if (auto it = bug_at_block_.find(current);
+            it != bug_at_block_.end()) {
+            const BugSite &bug = bugs_[it->second];
+            const bool triggers =
+                !bug.flaky || (noise != nullptr && noise->chance(0.3));
+            if (triggers) {
+                result.crashed = true;
+                result.bug_index = it->second;
+                return result;
+            }
+        }
+
+        switch (bb.term) {
+          case Term::Return:
+            goto returned;
+          case Term::Fallthrough:
+            current = bb.taken;
+            break;
+          case Term::Branch:
+            current = evalCond(bb.cond, slots, state) ? bb.taken
+                                                      : bb.fallthrough;
+            break;
+        }
+    }
+    SP_PANIC("handler CFG for syscall %u did not terminate", syscall_id);
+
+returned:
+    for (const auto &effect : h.effects) {
+        switch (effect.kind) {
+          case SyscallEffect::Kind::None:
+            break;
+          case SyscallEffect::Kind::AllocResource:
+            result.ret = state.allocResource(effect.resource_kind);
+            break;
+          case SyscallEffect::Kind::FreeResource:
+            SP_ASSERT(effect.slot < slots.size());
+            state.release(slots[effect.slot]);
+            break;
+          case SyscallEffect::Kind::SetFlag:
+            state.setFlag(effect.flag, true);
+            break;
+          case SyscallEffect::Kind::ClearFlag:
+            state.setFlag(effect.flag, false);
+            break;
+        }
+    }
+    return result;
+}
+
+std::vector<uint32_t>
+Kernel::successors(uint32_t block_id) const
+{
+    const BasicBlock &bb = block(block_id);
+    std::vector<uint32_t> succ;
+    switch (bb.term) {
+      case Term::Return:
+        break;
+      case Term::Fallthrough:
+        succ.push_back(bb.taken);
+        break;
+      case Term::Branch:
+        succ.push_back(bb.taken);
+        if (bb.fallthrough != bb.taken)
+            succ.push_back(bb.fallthrough);
+        break;
+    }
+    return succ;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+Kernel::staticEdges() const
+{
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    for (const auto &bb : blocks_)
+        for (uint32_t succ : successors(bb.id))
+            edges.emplace_back(bb.id, succ);
+    return edges;
+}
+
+const BugSite *
+Kernel::bugAt(uint32_t block_id) const
+{
+    auto it = bug_at_block_.find(block_id);
+    return it == bug_at_block_.end() ? nullptr : &bugs_[it->second];
+}
+
+}  // namespace sp::kern

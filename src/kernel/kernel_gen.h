@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic synthetic kernel generation.
+ *
+ * generateKernel builds a kernel whose system-call interface and handler
+ * control flow follow the statistical shape that makes real kernel
+ * fuzzing hard: many argument slots per call (nested structs, buffers,
+ * flags), handler CFGs whose branches test *specific* argument slots
+ * against values from the argument's declared domain, nested guarded
+ * regions (reaching depth d requires d slots simultaneously correct),
+ * cross-call state dependencies (resources, state flags), and bugs
+ * planted in the deep regions.
+ *
+ * The `evolution` parameter derives "newer kernel versions" from the
+ * same seed: each evolution round appends new guarded regions to
+ * existing handlers and adds a new system call, leaving the existing
+ * structure intact — the analog of fuzzing Linux 6.9/6.10 with a model
+ * trained on 6.8 (paper §5.3).
+ */
+#ifndef SP_KERNEL_KERNEL_GEN_H
+#define SP_KERNEL_KERNEL_GEN_H
+
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace sp::kern {
+
+/** Tuning knobs for synthetic kernel generation. */
+struct KernelGenParams
+{
+    uint64_t seed = 1;
+    int num_syscalls = 18;
+    int num_resource_kinds = 3;
+    int num_state_flags = 6;
+    /** Extra top-level arguments per syscall beyond any resource. */
+    int min_extra_args = 2;
+    int max_extra_args = 4;
+    /** Handler trunk length. */
+    int trunk_min = 5;
+    int trunk_max = 10;
+    /** Probability a trunk/body block sprouts a guarded region. */
+    double branch_prob = 0.55;
+    /** Maximum nesting depth of guarded regions. */
+    int max_depth = 3;
+    /** Bugs planted in regions of depth >= 2 (new/unknown bugs). */
+    int deep_bugs = 10;
+    /** Bugs planted at depth 1 (already in the known-crash list). */
+    int shallow_bugs = 5;
+    /** Fraction of deep bugs requiring a nondeterministic timing bit. */
+    double flaky_frac = 0.35;
+    /** Version-evolution rounds applied after the base build. */
+    int evolution = 0;
+    std::string version = "6.8";
+};
+
+class KernelBuilder;
+
+/**
+ * Append the synthetic bulk (timer handler, generated syscalls,
+ * evolution rounds, planted bugs) onto an in-progress builder. Bug
+ * planting considers every block present in the builder, so subsystems
+ * added beforehand get bugs planted into their deep regions too —
+ * except blocks that already carry a hand-planted bug.
+ */
+void appendSyntheticBulk(KernelBuilder &builder,
+                         const KernelGenParams &params);
+
+/** Build a purely synthetic kernel. Deterministic in `params`. */
+Kernel generateKernel(const KernelGenParams &params);
+
+}  // namespace sp::kern
+
+#endif  // SP_KERNEL_KERNEL_GEN_H

@@ -1,0 +1,70 @@
+#include "kernel/state.h"
+
+#include "util/logging.h"
+
+namespace sp::kern {
+
+KernelState::KernelState(uint16_t num_flags)
+    : flags_(num_flags, false)
+{
+}
+
+uint64_t
+KernelState::allocResource(ResourceKindId kind)
+{
+    resources_.push_back(Resource{kind, true});
+    return resources_.size();  // 1-based id
+}
+
+bool
+KernelState::alive(uint64_t id) const
+{
+    if (id == 0 || id > resources_.size())
+        return false;
+    return resources_[id - 1].alive;
+}
+
+bool
+KernelState::aliveOfKind(uint64_t id, ResourceKindId kind) const
+{
+    return alive(id) && resources_[id - 1].kind == kind;
+}
+
+ResourceKindId
+KernelState::kindOf(uint64_t id) const
+{
+    SP_ASSERT(alive(id), "kindOf on dead resource");
+    return resources_[id - 1].kind;
+}
+
+void
+KernelState::release(uint64_t id)
+{
+    if (alive(id))
+        resources_[id - 1].alive = false;
+}
+
+size_t
+KernelState::liveCount() const
+{
+    size_t count = 0;
+    for (const auto &r : resources_)
+        count += r.alive;
+    return count;
+}
+
+void
+KernelState::setFlag(uint16_t index, bool value)
+{
+    SP_ASSERT(index < flags_.size(), "flag index out of range");
+    flags_[index] = value;
+}
+
+bool
+KernelState::flag(uint16_t index) const
+{
+    SP_ASSERT(index < flags_.size(), "flag index out of range");
+    return flags_[index];
+}
+
+}  // namespace sp::kern

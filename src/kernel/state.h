@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Mutable kernel state: the resource table (file descriptors, sockets,
+ * devices, ...) and global state flags that system-call handlers read
+ * and write. Snapshot/restore is a plain value copy, mirroring the VM
+ * snapshot discipline Snowplow uses for deterministic data collection
+ * (§3.1 of the paper).
+ */
+#ifndef SP_KERNEL_STATE_H
+#define SP_KERNEL_STATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sp::kern {
+
+/** Id of a resource kind within a kernel (dense, small). */
+using ResourceKindId = uint16_t;
+
+/** One live-or-dead kernel object. */
+struct Resource
+{
+    ResourceKindId kind = 0;
+    bool alive = false;
+};
+
+/**
+ * The kernel's mutable state. Resource ids are 1-based (0 and
+ * prog::kBadHandle are never valid), so a zero-initialized argument slot
+ * can never name a live resource by accident.
+ */
+class KernelState
+{
+  public:
+    /** @param num_flags number of global state flags in this kernel. */
+    explicit KernelState(uint16_t num_flags = 0);
+
+    /** Allocate a resource of `kind`; returns its id. */
+    uint64_t allocResource(ResourceKindId kind);
+
+    /** True when `id` names a live resource. */
+    bool alive(uint64_t id) const;
+
+    /** True when `id` names a live resource of kind `kind`. */
+    bool aliveOfKind(uint64_t id, ResourceKindId kind) const;
+
+    /** Kind of resource `id` (fatal when not alive). */
+    ResourceKindId kindOf(uint64_t id) const;
+
+    /** Release resource `id` (no-op when not alive). */
+    void release(uint64_t id);
+
+    /** Number of live resources. */
+    size_t liveCount() const;
+
+    /** @name State flags */
+    /** @{ */
+    void setFlag(uint16_t index, bool value);
+    bool flag(uint16_t index) const;
+    uint16_t numFlags() const
+    {
+        return static_cast<uint16_t>(flags_.size());
+    }
+    /** @} */
+
+    /** Value-copy snapshot. */
+    KernelState snapshot() const { return *this; }
+
+  private:
+    std::vector<Resource> resources_;
+    std::vector<bool> flags_;
+};
+
+}  // namespace sp::kern
+
+#endif  // SP_KERNEL_STATE_H

@@ -1,0 +1,636 @@
+#include "kernel/subsystems.h"
+
+#include <initializer_list>
+
+#include "prog/flatten.h"
+#include "util/logging.h"
+
+namespace sp::kern {
+
+namespace {
+
+using prog::SlotRole;
+using prog::TypeRef;
+
+/** Find a decl's flattened slot index by argument path and role. */
+uint16_t
+slotOf(const prog::SyscallDecl &decl, std::initializer_list<uint16_t> path,
+       SlotRole role = SlotRole::Value)
+{
+    const std::vector<uint16_t> want(path);
+    for (const auto &slot : prog::enumerateSlots(decl)) {
+        if (slot.path == want && slot.role == role)
+            return static_cast<uint16_t>(slot.index);
+    }
+    SP_FATAL("no slot at the requested path in %s", decl.name.c_str());
+}
+
+Cond
+argEq(uint16_t slot, uint64_t value)
+{
+    Cond cond;
+    cond.kind = CondKind::ArgEq;
+    cond.slot = slot;
+    cond.a = value;
+    return cond;
+}
+
+Cond
+argMaskAll(uint16_t slot, uint64_t mask)
+{
+    Cond cond;
+    cond.kind = CondKind::ArgMaskAll;
+    cond.slot = slot;
+    cond.a = mask;
+    return cond;
+}
+
+Cond
+argGe(uint16_t slot, uint64_t value)
+{
+    Cond cond;
+    cond.kind = CondKind::ArgGe;
+    cond.slot = slot;
+    cond.a = value;
+    return cond;
+}
+
+Cond
+argLt(uint16_t slot, uint64_t value)
+{
+    Cond cond;
+    cond.kind = CondKind::ArgLt;
+    cond.slot = slot;
+    cond.a = value;
+    return cond;
+}
+
+Cond
+resourceAlive(uint16_t slot, ResourceKindId kind)
+{
+    Cond cond;
+    cond.kind = CondKind::ResourceAlive;
+    cond.slot = slot;
+    cond.flag = kind;
+    return cond;
+}
+
+Cond
+stateFlag(uint16_t flag)
+{
+    Cond cond;
+    cond.kind = CondKind::StateFlagSet;
+    cond.flag = flag;
+    return cond;
+}
+
+}  // namespace
+
+void
+addVfsSubsystem(KernelBuilder &builder)
+{
+    const ResourceKindId fd_kind = builder.addResourceKind("fd");
+
+    // --- open$file(path *buffer, flags, mode) -> fd -------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "open$file";
+        decl.ret_resource = "fd";
+        decl.args.push_back(prog::ptrType(
+            "path", prog::bufferType("path_buf", 1, 16), false, true));
+        decl.args.push_back(prog::flagsType(
+            "flags",
+            {kORdonly, kOWronly, kOCreat, kOTrunc, kOAppend}, true));
+        decl.args.push_back(
+            prog::flagsType("mode", {0x1ff, 0x180, 0x40}, false));
+        const uint16_t s_path_null = slotOf(decl, {0}, SlotRole::PtrNull);
+        const uint16_t s_path_len = slotOf(decl, {0, 0}, SlotRole::BufLen);
+        const uint16_t s_flags = slotOf(decl, {1});
+        const uint16_t s_mode = slotOf(decl, {2});
+
+        builder.beginHandler(decl);
+        SyscallEffect alloc;
+        alloc.kind = SyscallEffect::Kind::AllocResource;
+        alloc.resource_kind = fd_kind;
+        builder.addEffect(alloc);
+
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t efault = builder.addBlock(1);
+        const uint32_t lookup = builder.addBlock(0);
+        const uint32_t toolong = builder.addBlock(1);
+        const uint32_t check_creat = builder.addBlock(0);
+        const uint32_t do_create = builder.addBlock(1);
+        const uint32_t create_mode = builder.addBlock(1);
+        const uint32_t create_exec = builder.addBlock(2);
+        const uint32_t check_trunc = builder.addBlock(1);
+        const uint32_t do_trunc = builder.addBlock(2);
+        const uint32_t trunc_append = builder.addBlock(3);
+        const uint32_t finish_open = builder.addBlock(0);
+
+        builder.setBranch(entry, argEq(s_path_null, 0), efault, lookup);
+        builder.setReturn(efault);
+        builder.setBranch(lookup, argGe(s_path_len, 14), toolong,
+                          check_creat);
+        builder.setReturn(toolong);
+        builder.setBranch(check_creat, argMaskAll(s_flags, kOCreat),
+                          do_create, finish_open);
+        builder.setFallthrough(do_create, create_mode);
+        builder.setBranch(create_mode, argEq(s_mode, 0x40), create_exec,
+                          check_trunc);
+        builder.setFallthrough(create_exec, check_trunc);
+        builder.setBranch(check_trunc, argMaskAll(s_flags, kOTrunc),
+                          do_trunc, finish_open);
+        builder.setBranch(do_trunc, argMaskAll(s_flags, kOAppend),
+                          trunc_append, finish_open);
+        builder.setFallthrough(trunc_append, finish_open);
+        builder.setReturn(finish_open);
+    }
+
+    // --- read(fd, buf *buffer out, count) ------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "read";
+        decl.args.push_back(prog::resourceType("fd", "fd"));
+        decl.args.push_back(prog::ptrType(
+            "buf", prog::bufferType("data", 0, 64), true, true));
+        decl.args.push_back(
+            prog::intType("count", 32, 0, 8192, {0, 1, 4096, 8192}));
+        const uint16_t s_fd = slotOf(decl, {0});
+        const uint16_t s_buf_null = slotOf(decl, {1}, SlotRole::PtrNull);
+        const uint16_t s_count = slotOf(decl, {2});
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t checkbuf = builder.addBlock(0);
+        const uint32_t efault = builder.addBlock(1);
+        const uint32_t zero = builder.addBlock(1);
+        const uint32_t small = builder.addBlock(0);
+        const uint32_t big = builder.addBlock(1);
+        const uint32_t huge = builder.addBlock(2);  // readahead path
+        const uint32_t page_bug = builder.addBlock(3);
+        const uint32_t done = builder.addBlock(0);
+
+        builder.setBranch(entry, resourceAlive(s_fd, fd_kind), checkbuf,
+                          ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(checkbuf, argEq(s_buf_null, 0), efault, zero);
+        builder.setReturn(efault);
+        builder.setBranch(zero, argEq(s_count, 0), done, small);
+        builder.setBranch(small, argGe(s_count, 4096), big, done);
+        builder.setBranch(big, argEq(s_count, 8192), huge, done);
+        builder.setBranch(huge, argEq(s_buf_null, 1), page_bug, done);
+        builder.setFallthrough(page_bug, done);
+        builder.setReturn(done);
+
+        BugSite bug;
+        bug.block = page_bug;
+        bug.kind = BugKind::PagingFault;
+        bug.description = "Paging fault in vfs_read readahead";
+        bug.location = "fs/read_write.c:482";
+        bug.flaky = false;
+        bug.known = true;  // long-standing, on the continuous-fuzzing list
+        builder.addBug(bug);
+    }
+
+    // --- write(fd, buf *buffer, count) ---------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "write";
+        decl.args.push_back(prog::resourceType("fd", "fd"));
+        decl.args.push_back(prog::ptrType(
+            "buf", prog::bufferType("data", 0, 64), false, true));
+        decl.args.push_back(prog::lenType("count", 1));
+        const uint16_t s_fd = slotOf(decl, {0});
+        const uint16_t s_len = slotOf(decl, {1, 0}, SlotRole::BufLen);
+        const uint16_t s_class = slotOf(decl, {1, 0}, SlotRole::BufClass);
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t body = builder.addBlock(0);
+        const uint32_t empty = builder.addBlock(1);
+        const uint32_t journal = builder.addBlock(1);
+        const uint32_t magic = builder.addBlock(2);  // ext4-like path
+        const uint32_t warn = builder.addBlock(3);
+        const uint32_t done = builder.addBlock(0);
+
+        builder.setBranch(entry, resourceAlive(s_fd, fd_kind), body,
+                          ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(body, argEq(s_len, 0), empty, journal);
+        builder.setReturn(empty);
+        builder.setBranch(journal, argGe(s_len, 32), magic, done);
+        builder.setBranch(magic, argEq(s_class, 7), warn, done);
+        builder.setFallthrough(warn, done);
+        builder.setReturn(done);
+
+        BugSite bug;
+        bug.block = warn;
+        bug.kind = BugKind::Warning;
+        bug.description = "WARNING in ext4_iomap_begin";
+        bug.location = "fs/ext4/inode.c:3441";
+        bug.flaky = false;
+        bug.known = true;  // long-standing, on the continuous-fuzzing list
+        builder.addBug(bug);
+    }
+
+    // --- close$file(fd) -------------------------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "close$file";
+        decl.args.push_back(prog::resourceType("fd", "fd"));
+        const uint16_t s_fd = slotOf(decl, {0});
+
+        builder.beginHandler(decl);
+        SyscallEffect release;
+        release.kind = SyscallEffect::Kind::FreeResource;
+        release.slot = 0;
+        builder.addEffect(release);
+
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t live = builder.addBlock(0);
+        const uint32_t dead = builder.addBlock(1);
+        builder.setBranch(entry, resourceAlive(s_fd, fd_kind), live,
+                          dead);
+        builder.setReturn(live);
+        builder.setReturn(dead);
+    }
+
+    // --- mmap(addr, len, prot, fd) --------------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "mmap";
+        decl.args.push_back(
+            prog::intType("addr", 64, 0, 1 << 20, {0, 0x1000, 0x10000}));
+        decl.args.push_back(
+            prog::intType("len", 32, 0, 1 << 16,
+                          {0, 0x1000, 0x8000, 0xffff}));
+        decl.args.push_back(
+            prog::flagsType("prot", {0x1, 0x2, 0x4}, true));
+        decl.args.push_back(prog::resourceType("fd", "fd"));
+        const uint16_t s_addr = slotOf(decl, {0});
+        const uint16_t s_len = slotOf(decl, {1});
+        const uint16_t s_prot = slotOf(decl, {2});
+        const uint16_t s_fd = slotOf(decl, {3});
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t einval = builder.addBlock(1);
+        const uint32_t anon = builder.addBlock(0);
+        const uint32_t filebacked = builder.addBlock(1);
+        const uint32_t growsdown = builder.addBlock(1);
+        const uint32_t gup = builder.addBlock(2);
+        const uint32_t gup_bug = builder.addBlock(3);
+        const uint32_t done = builder.addBlock(0);
+
+        builder.setBranch(entry, argEq(s_len, 0), einval, anon);
+        builder.setReturn(einval);
+        builder.setBranch(anon, resourceAlive(s_fd, fd_kind), filebacked,
+                          growsdown);
+        builder.setFallthrough(filebacked, done);
+        builder.setBranch(growsdown, argMaskAll(s_prot, 0x2), gup, done);
+        builder.setBranch(gup, argEq(s_addr, 0x1000), gup_bug, done);
+        builder.setFallthrough(gup_bug, done);
+        builder.setReturn(done);
+
+        BugSite bug;
+        bug.block = gup_bug;
+        bug.kind = BugKind::AssertViolation;
+        bug.description = "GUP no longer grows the stack";
+        bug.location = "mm/gup.c:1192";
+        bug.flaky = false;
+        bug.known = true;  // long-standing, on the continuous-fuzzing list
+        builder.addBug(bug);
+    }
+}
+
+void
+addScsiSubsystem(KernelBuilder &builder)
+{
+    const ResourceKindId scsi_kind = builder.addResourceKind("scsi_fd");
+
+    // --- open$scsi(devnum) -> scsi_fd -----------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "open$scsi";
+        decl.args.push_back(
+            prog::intType("devnum", 32, 0, 15, {0, 1}));
+        decl.ret_resource = "scsi_fd";
+        const uint16_t s_dev = slotOf(decl, {0});
+
+        builder.beginHandler(decl);
+        SyscallEffect alloc;
+        alloc.kind = SyscallEffect::Kind::AllocResource;
+        alloc.resource_kind = scsi_kind;
+        builder.addEffect(alloc);
+
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t probe = builder.addBlock(1);
+        const uint32_t done = builder.addBlock(0);
+        builder.setBranch(entry, argEq(s_dev, 0), probe, done);
+        builder.setFallthrough(probe, done);
+        builder.setReturn(done);
+    }
+
+    // --- ioctl$scsi(fd, cmd, req *sg_io_hdr) -----------------------------
+    //
+    // The deep path reproduces the paper's Table 4 bug #1: the ATA
+    // PASS-THROUGH out-of-bounds write, reachable only when cmd is
+    // SCSI_IOCTL_SEND_COMMAND, the request selects ATA_16, the ATA
+    // command is ATA_NOP with protocol PIO, and data_len exceeds the
+    // sector buffer.
+    {
+        prog::SyscallDecl decl;
+        decl.name = "ioctl$scsi";
+        decl.args.push_back(prog::resourceType("fd", "scsi_fd"));
+        decl.args.push_back(prog::intType(
+            "cmd", 32, 0, 0x5400,
+            {kScsiIoctlSendCommand, 0x2, 0x5, 0x6, 0x41, 0x53, 0x85,
+             0x301, 0x5331, 0x125, 0x1261, 0x127f, 0x220, 0x2285,
+             0x5383, 0x5387}));
+        decl.args.push_back(prog::ptrType(
+            "req",
+            prog::structType(
+                "sg_io_hdr",
+                {prog::intType("proto", 32, 0, 0xff,
+                               {kScsiProtoAta16, 0x12, 0x25, 0x28, 0x2a,
+                                0x00, 0x03, 0x08, 0x15, 0x1a, 0x35,
+                                0x5a}),
+                 prog::intType("ata_cmd", 32, 0, 0xff,
+                               {kAtaCmdNop, 0xec, 0x25, 0x35, 0xca,
+                                0xc8, 0xe7, 0xea, 0x20, 0x30, 0x40,
+                                0x90, 0xb0, 0xef, 0xf5}),
+                 prog::flagsType("protocol",
+                                 {kAtaProtPio, 0x6, 0x4, 0x0, 0x1, 0x2,
+                                  0x5, 0x7, 0x8, 0x9, 0xa, 0xc}, false),
+                 prog::intType("data_len", 32, 0, 1024,
+                               {0, 4, 16, 64, 128, 255, 256, 384, 511,
+                                512, 513, 520, 768, 1024}),
+                 prog::bufferType("data", 0, 32),
+                 prog::lenType("buf_len", 4)}),
+            false, true));
+        const uint16_t s_fd = slotOf(decl, {0});
+        const uint16_t s_cmd = slotOf(decl, {1});
+        const uint16_t s_req_null = slotOf(decl, {2}, SlotRole::PtrNull);
+        const uint16_t s_proto = slotOf(decl, {2, 0, 0});
+        const uint16_t s_ata_cmd = slotOf(decl, {2, 0, 1});
+        const uint16_t s_protocol = slotOf(decl, {2, 0, 2});
+        const uint16_t s_data_len = slotOf(decl, {2, 0, 3});
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t dispatch = builder.addBlock(0);
+        const uint32_t other_cmd = builder.addBlock(1);
+        const uint32_t send_cmd = builder.addBlock(1);
+        const uint32_t efault = builder.addBlock(2);
+        const uint32_t parse = builder.addBlock(1);
+        const uint32_t scsi_legacy = builder.addBlock(2);
+        const uint32_t ata16 = builder.addBlock(2);
+        const uint32_t ata_other = builder.addBlock(3);
+        const uint32_t ata_nop = builder.addBlock(3);
+        const uint32_t prot_other = builder.addBlock(4);
+        const uint32_t prot_pio = builder.addBlock(4);
+        const uint32_t pio_ok = builder.addBlock(5);
+        const uint32_t pio_oob = builder.addBlock(5);
+        const uint32_t done = builder.addBlock(0);
+
+        builder.setBranch(entry, resourceAlive(s_fd, scsi_kind),
+                          dispatch, ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(dispatch, argEq(s_cmd, kScsiIoctlSendCommand),
+                          send_cmd, other_cmd);
+        builder.setFallthrough(other_cmd, done);
+        builder.setBranch(send_cmd, argEq(s_req_null, 0), efault, parse);
+        builder.setReturn(efault);
+        builder.setBranch(parse, argEq(s_proto, kScsiProtoAta16), ata16,
+                          scsi_legacy);
+        builder.setFallthrough(scsi_legacy, done);
+        builder.setBranch(ata16, argEq(s_ata_cmd, kAtaCmdNop), ata_nop,
+                          ata_other);
+        builder.setFallthrough(ata_other, done);
+        builder.setBranch(ata_nop, argEq(s_protocol, kAtaProtPio),
+                          prot_pio, prot_other);
+        builder.setFallthrough(prot_other, done);
+        builder.setBranch(prot_pio, argGe(s_data_len, kAtaMaxDataLen + 1),
+                          pio_oob, pio_ok);
+        builder.setFallthrough(pio_ok, done);
+        builder.setFallthrough(pio_oob, done);
+        builder.setReturn(done);
+
+        BugSite bug;
+        bug.block = pio_oob;
+        bug.kind = BugKind::OutOfBounds;
+        bug.description = "Out of bound access in ata_pio_sector";
+        bug.location = "drivers/ata/libata-sff.c:719";
+        bug.flaky = false;
+        bug.known = false;
+        builder.addBug(bug);
+    }
+}
+
+void
+addNetSubsystem(KernelBuilder &builder)
+{
+    const ResourceKindId sock_kind = builder.addResourceKind("sock");
+    const uint16_t bound_flag = builder.addFlags(1);
+
+    // --- socket(domain, type, proto) -> sock -----------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "socket";
+        decl.args.push_back(prog::flagsType(
+            "domain", {kAfUnix, kAfInet, 0xb}, false));
+        decl.args.push_back(prog::flagsType(
+            "type", {kSockStream, kSockDgram, 0x3}, false));
+        decl.args.push_back(prog::intType("proto", 32, 0, 255, {0, 6, 17}));
+        decl.ret_resource = "sock";
+        const uint16_t s_domain = slotOf(decl, {0});
+        const uint16_t s_type = slotOf(decl, {1});
+
+        builder.beginHandler(decl);
+        SyscallEffect alloc;
+        alloc.kind = SyscallEffect::Kind::AllocResource;
+        alloc.resource_kind = sock_kind;
+        builder.addEffect(alloc);
+
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t inet = builder.addBlock(1);
+        const uint32_t inet_stream = builder.addBlock(2);
+        const uint32_t unix_path = builder.addBlock(1);
+        const uint32_t done = builder.addBlock(0);
+        builder.setBranch(entry, argEq(s_domain, kAfInet), inet,
+                          unix_path);
+        builder.setBranch(inet, argEq(s_type, kSockStream), inet_stream,
+                          done);
+        builder.setFallthrough(inet_stream, done);
+        builder.setFallthrough(unix_path, done);
+        builder.setReturn(done);
+    }
+
+    // --- bind(sock, addr *sockaddr) --------------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "bind";
+        decl.args.push_back(prog::resourceType("sock", "sock"));
+        decl.args.push_back(prog::ptrType(
+            "addr",
+            prog::structType(
+                "sockaddr",
+                {prog::flagsType("family", {kAfUnix, kAfInet}, false),
+                 prog::intType("port", 16, 0, 65535, {0, 80, 8080}),
+                 prog::intType("addr4", 32, 0, 0xffffffff,
+                               {0, 0x7f000001})}),
+            false, true));
+        const uint16_t s_sock = slotOf(decl, {0});
+        const uint16_t s_addr_null = slotOf(decl, {1}, SlotRole::PtrNull);
+        const uint16_t s_port = slotOf(decl, {1, 0, 1});
+
+        builder.beginHandler(decl);
+        SyscallEffect set_bound;
+        set_bound.kind = SyscallEffect::Kind::SetFlag;
+        set_bound.flag = bound_flag;
+        builder.addEffect(set_bound);
+
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t check = builder.addBlock(0);
+        const uint32_t efault = builder.addBlock(1);
+        const uint32_t privport = builder.addBlock(1);
+        const uint32_t done = builder.addBlock(0);
+        builder.setBranch(entry, resourceAlive(s_sock, sock_kind), check,
+                          ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(check, argEq(s_addr_null, 0), efault, privport);
+        builder.setReturn(efault);
+        builder.setBranch(privport, argLt(s_port, 1024), done, done);
+        builder.setReturn(done);
+    }
+
+    // --- listen(sock, backlog) -------------------------------------------
+    {
+        prog::SyscallDecl decl;
+        decl.name = "listen";
+        decl.args.push_back(prog::resourceType("sock", "sock"));
+        decl.args.push_back(
+            prog::intType("backlog", 32, 0, 4096, {0, 1, 128}));
+        const uint16_t s_sock = slotOf(decl, {0});
+        const uint16_t s_backlog = slotOf(decl, {1});
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t bound = builder.addBlock(0);
+        const uint32_t not_bound = builder.addBlock(1);
+        const uint32_t big_backlog = builder.addBlock(1);
+        const uint32_t done = builder.addBlock(0);
+        builder.setBranch(entry, resourceAlive(s_sock, sock_kind), bound,
+                          ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(bound, stateFlag(bound_flag), big_backlog,
+                          not_bound);
+        builder.setReturn(not_bound);
+        builder.setBranch(big_backlog, argGe(s_backlog, 128), done, done);
+        builder.setReturn(done);
+    }
+
+    // --- sendmsg$inet(sock, msg *msghdr, flags) --------------------------
+    //
+    // Mirrors the nested-argument example of Figure 4: the msghdr struct
+    // carries a nested iovec buffer and a control buffer with computed
+    // lengths.
+    {
+        prog::SyscallDecl decl;
+        decl.name = "sendmsg$inet";
+        decl.args.push_back(prog::resourceType("sock", "sock"));
+        decl.args.push_back(prog::ptrType(
+            "msg",
+            prog::structType(
+                "msghdr",
+                {prog::ptrType(
+                     "name",
+                     prog::structType(
+                         "sockaddr_in",
+                         {prog::flagsType("family",
+                                          {kAfUnix, kAfInet}, false),
+                          prog::intType("port", 16, 0, 65535,
+                                        {0, 80})}),
+                     false, true),
+                 prog::bufferType("iov", 0, 48),
+                 prog::lenType("iov_len", 1),
+                 prog::bufferType("control", 0, 24),
+                 prog::lenType("control_len", 3)}),
+            false, true));
+        decl.args.push_back(prog::flagsType(
+            "flags",
+            {kMsgOob, kMsgDontwait, 0x4, 0x8000, 0x2, 0x8, 0x10, 0x20,
+             0x80, 0x100, 0x800, 0x2000, 0x4000, 0x10000}, true));
+        const uint16_t s_sock = slotOf(decl, {0});
+        const uint16_t s_msg_null = slotOf(decl, {1}, SlotRole::PtrNull);
+        const uint16_t s_name_null =
+            slotOf(decl, {1, 0, 0}, SlotRole::PtrNull);
+        const uint16_t s_iov_len =
+            slotOf(decl, {1, 0, 1}, SlotRole::BufLen);
+        const uint16_t s_control_len =
+            slotOf(decl, {1, 0, 3}, SlotRole::BufLen);
+        const uint16_t s_flags = slotOf(decl, {2});
+
+        builder.beginHandler(decl);
+        const uint32_t entry = builder.addBlock(0);
+        const uint32_t ebadf = builder.addBlock(1);
+        const uint32_t check_msg = builder.addBlock(0);
+        const uint32_t efault = builder.addBlock(1);
+        const uint32_t named = builder.addBlock(1);
+        const uint32_t autoroute = builder.addBlock(1);
+        const uint32_t copy_iov = builder.addBlock(0);
+        const uint32_t zerolen = builder.addBlock(1);
+        const uint32_t cmsg = builder.addBlock(1);
+        const uint32_t cmsg_parse = builder.addBlock(2);
+        const uint32_t oob = builder.addBlock(2);
+        const uint32_t oob_uaf = builder.addBlock(3);
+        const uint32_t done = builder.addBlock(0);
+
+        builder.setBranch(entry, resourceAlive(s_sock, sock_kind),
+                          check_msg, ebadf);
+        builder.setReturn(ebadf);
+        builder.setBranch(check_msg, argEq(s_msg_null, 0), efault, named);
+        builder.setReturn(efault);
+        builder.setBranch(named, argEq(s_name_null, 1), autoroute,
+                          copy_iov);
+        builder.setFallthrough(autoroute, copy_iov);
+        builder.setBranch(copy_iov, argEq(s_iov_len, 0), zerolen, cmsg);
+        builder.setReturn(zerolen);
+        builder.setBranch(cmsg, argGe(s_control_len, 16), cmsg_parse,
+                          done);
+        builder.setBranch(cmsg_parse, argMaskAll(s_flags, kMsgOob), oob,
+                          done);
+        builder.setBranch(oob, argMaskAll(s_flags, kMsgDontwait),
+                          oob_uaf, done);
+        builder.setFallthrough(oob_uaf, done);
+        builder.setReturn(done);
+
+        BugSite bug;
+        bug.block = oob_uaf;
+        bug.kind = BugKind::GeneralProtectionFault;
+        bug.description =
+            "General Protection Fault in unix_stream_sendmsg";
+        bug.location = "net/unix/af_unix.c:2201";
+        bug.flaky = true;  // a concurrency bug: resists reproduction
+        bug.known = false;
+        builder.addBug(bug);
+    }
+}
+
+Kernel
+buildBaseKernel(const KernelGenParams &params)
+{
+    KernelBuilder builder(params.version);
+    addVfsSubsystem(builder);
+    addScsiSubsystem(builder);
+    addNetSubsystem(builder);
+    appendSyntheticBulk(builder, params);
+    return builder.finish();
+}
+
+}  // namespace sp::kern

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hand-written kernel subsystems, modeled on the subsystems the paper's
+ * evaluation exercises most: a VFS (open/read/write/close/mmap), the
+ * SCSI/ATA ioctl path containing the deep out-of-bounds-write bug the
+ * paper highlights (Table 4 bug #1 — reachable only with a precisely
+ * crafted ioctl request), and a socket/sendmsg networking slice with
+ * nested message structs (Figure 4).
+ *
+ * Each add*Subsystem call appends its syscalls and handler CFGs to a
+ * KernelBuilder; buildBaseKernel composes them with a synthetic bulk
+ * kernel into the full evaluation target.
+ */
+#ifndef SP_KERNEL_SUBSYSTEMS_H
+#define SP_KERNEL_SUBSYSTEMS_H
+
+#include "kernel/builder.h"
+#include "kernel/kernel_gen.h"
+
+namespace sp::kern {
+
+/** @name VFS flag values (exported for tests and examples) */
+/** @{ */
+constexpr uint64_t kORdonly = 0x1;
+constexpr uint64_t kOWronly = 0x2;
+constexpr uint64_t kOCreat = 0x40;
+constexpr uint64_t kOTrunc = 0x200;
+constexpr uint64_t kOAppend = 0x400;
+/** @} */
+
+/** @name SCSI/ATA constants for the deep ioctl bug path */
+/** @{ */
+constexpr uint64_t kScsiIoctlSendCommand = 0x1;
+constexpr uint64_t kScsiProtoAta16 = 0x85;
+constexpr uint64_t kAtaCmdNop = 0x00;
+constexpr uint64_t kAtaProtPio = 0x3;
+constexpr uint64_t kAtaMaxDataLen = 512;
+/** @} */
+
+/** @name Socket constants */
+/** @{ */
+constexpr uint64_t kAfUnix = 0x1;
+constexpr uint64_t kAfInet = 0x2;
+constexpr uint64_t kSockStream = 0x1;
+constexpr uint64_t kSockDgram = 0x2;
+constexpr uint64_t kMsgOob = 0x1;
+constexpr uint64_t kMsgDontwait = 0x40;
+/** @} */
+
+/** File subsystem: open$file, read, write, close$file, mmap. */
+void addVfsSubsystem(KernelBuilder &builder);
+
+/** SCSI subsystem: open$scsi and ioctl$scsi with the ATA OOB bug. */
+void addScsiSubsystem(KernelBuilder &builder);
+
+/** Network subsystem: socket, bind, listen, sendmsg$inet. */
+void addNetSubsystem(KernelBuilder &builder);
+
+/**
+ * The full evaluation kernel: hand-written subsystems plus a synthetic
+ * bulk generated from `params` (the subsystems are added first, so
+ * their syscall ids are stable across versions/evolutions).
+ */
+Kernel buildBaseKernel(const KernelGenParams &params);
+
+}  // namespace sp::kern
+
+#endif  // SP_KERNEL_SUBSYSTEMS_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Argument-mutation localization (the paper's intervention point).
+ *
+ * When the mutation-type selector picks ARGUMENT_MUTATION, a Localizer
+ * decides *which* arguments of the base test to mutate. The baseline
+ * (Syzkaller-style) localizer picks semi-randomly, weighted toward calls
+ * with more arguments; Snowplow's PMM-backed localizer (src/core) makes
+ * this decision with a learned model given the desired coverage.
+ */
+#ifndef SP_MUTATE_LOCALIZER_H
+#define SP_MUTATE_LOCALIZER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/executor.h"
+#include "prog/flatten.h"
+#include "prog/value.h"
+#include "util/rng.h"
+
+namespace sp::mut {
+
+/** One localized mutation site: a mutable argument of one call. */
+struct ArgLocation
+{
+    size_t call_index = 0;
+    prog::MutationPoint point;
+};
+
+/** Every mutable argument of the program, in program order. */
+std::vector<ArgLocation> allArgLocations(const prog::Prog &prog);
+
+/** Chooses argument-mutation sites for a base test. */
+class Localizer
+{
+  public:
+    virtual ~Localizer() = default;
+
+    /**
+     * Pick up to `max_sites` distinct argument sites of `prog` to
+     * mutate. May return fewer (or none, when the program has no
+     * mutable arguments).
+     */
+    virtual std::vector<ArgLocation> localize(const prog::Prog &prog,
+                                              Rng &rng,
+                                              size_t max_sites) = 0;
+
+    /**
+     * Localization with the base test's execution result available
+     * (the fuzzing loop caches it with the corpus entry). White-box
+     * localizers override this to read the coverage; the default
+     * ignores it.
+     */
+    virtual std::vector<ArgLocation>
+    localizeWithResult(const prog::Prog &prog,
+                       const exec::ExecResult & /*result*/, Rng &rng,
+                       size_t max_sites)
+    {
+        return localize(prog, rng, max_sites);
+    }
+};
+
+/**
+ * The Syzkaller-default localizer: samples arguments uniformly from the
+ * call with the largest arity (with probability `arity_bias`) or from
+ * the whole program otherwise — target-agnostic randomness.
+ */
+class RandomLocalizer : public Localizer
+{
+  public:
+    explicit RandomLocalizer(double arity_bias = 0.5)
+        : arity_bias_(arity_bias)
+    {
+    }
+
+    std::vector<ArgLocation> localize(const prog::Prog &prog, Rng &rng,
+                                      size_t max_sites) override;
+
+  private:
+    double arity_bias_;
+};
+
+}  // namespace sp::mut
+
+#endif  // SP_MUTATE_LOCALIZER_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The mutation engine: type selection, localization and instantiation
+ * (Figure 1 of the paper, function mutate_test).
+ *
+ * Type selection flips a biased coin among ARGUMENT_MUTATION /
+ * CALL_INSERTION / CALL_REMOVAL, exactly like Syzkaller's fixed
+ * probabilities. Localization is delegated to a pluggable Localizer.
+ * Instantiation applies a per-type-kind value mutation strategy
+ * (interesting values, bit flips, boundary excursions, resource
+ * rewiring, buffer edits) and re-fixes computed length fields.
+ */
+#ifndef SP_MUTATE_MUTATOR_H
+#define SP_MUTATE_MUTATOR_H
+
+#include "mutate/localizer.h"
+#include "prog/gen.h"
+#include "prog/value.h"
+#include "util/rng.h"
+
+namespace sp::mut {
+
+/** The mutation types the selector chooses among. */
+enum class MutationType : uint8_t {
+    ArgumentMutation,
+    CallInsertion,
+    CallRemoval,
+};
+
+/** Selector probabilities and instantiation knobs. */
+struct MutatorOptions
+{
+    double arg_mutation_weight = 0.60;
+    double insert_weight = 0.25;
+    double remove_weight = 0.15;
+    /** Maximum program length; insertions beyond this are skipped. */
+    size_t max_calls = 16;
+    prog::GenOptions gen;  ///< used when synthesizing inserted calls
+};
+
+/** Mutation engine bound to one syscall table. */
+class Mutator
+{
+  public:
+    Mutator(const prog::SyscallTable &table, MutatorOptions opts = {});
+
+    /** Type selection (target-agnostic, like Syzkaller's default). */
+    MutationType selectType(Rng &rng, const prog::Prog &prog) const;
+
+    /**
+     * Instantiate an argument mutation at `loc` in place: pick new
+     * values for the located argument and re-fix lengths. Returns false
+     * when the location no longer exists in this program (stale after
+     * other mutations).
+     */
+    bool instantiateArgMutation(prog::Prog &prog, const ArgLocation &loc,
+                                Rng &rng) const;
+
+    /** Insert a freshly generated call at a random position. */
+    void insertCall(prog::Prog &prog, Rng &rng) const;
+
+    /** Remove a random call, invalidating references to it. */
+    void removeCall(prog::Prog &prog, Rng &rng) const;
+
+    /**
+     * Full mutate_test pipeline: select a type, localize with
+     * `localizer` (for argument mutations), instantiate, and return the
+     * mutated copy of `base`.
+     */
+    prog::Prog mutate(const prog::Prog &base, Rng &rng,
+                      Localizer &localizer) const;
+
+    const MutatorOptions &options() const { return opts_; }
+
+  private:
+    const prog::SyscallTable &table_;
+    MutatorOptions opts_;
+};
+
+}  // namespace sp::mut
+
+#endif  // SP_MUTATE_MUTATOR_H

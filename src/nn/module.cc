@@ -1,0 +1,107 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sp::nn {
+
+void
+Module::zeroGrad()
+{
+    for (auto &p : params_)
+        p.tensor.zeroGrad();
+}
+
+int64_t
+Module::parameterCount() const
+{
+    int64_t total = 0;
+    for (const auto &p : params_)
+        total += p.tensor.numel();
+    return total;
+}
+
+Tensor
+Module::registerParameter(std::string name, Tensor tensor)
+{
+    SP_ASSERT(tensor.requiresGrad(),
+              "parameters must require grad: %s", name.c_str());
+    params_.push_back(Parameter{std::move(name), tensor});
+    return params_.back().tensor;
+}
+
+void
+Module::absorb(const std::string &prefix, const Module &child)
+{
+    for (const auto &p : child.parameters()) {
+        std::string full =
+            prefix.empty() ? p.name : prefix + "." + p.name;
+        params_.push_back(Parameter{std::move(full), p.tensor});
+    }
+}
+
+Linear::Linear(Rng &rng, int64_t in, int64_t out, const std::string &name)
+    : in_(in), out_(out)
+{
+    SP_ASSERT(in > 0 && out > 0);
+    const float std_dev = std::sqrt(2.0f / static_cast<float>(in));
+    weight_ = registerParameter(
+        name + ".weight", Tensor::randn(rng, in, out, std_dev));
+    bias_ = registerParameter(
+        name + ".bias",
+        Tensor::zerosVec(out, /*requires_grad=*/true));
+}
+
+Tensor
+Linear::forward(const Tensor &x) const
+{
+    SP_ASSERT(x.isMatrix() && x.cols() == in_,
+              "Linear expects [n, %lld], got [%lld, %lld]",
+              static_cast<long long>(in_),
+              static_cast<long long>(x.rows()),
+              static_cast<long long>(x.cols()));
+    return addRowVec(matmul(x, weight_), bias_);
+}
+
+Embedding::Embedding(Rng &rng, int64_t vocab, int64_t dim,
+                     const std::string &name)
+    : vocab_(vocab), dim_(dim)
+{
+    SP_ASSERT(vocab > 0 && dim > 0);
+    const float std_dev = 1.0f / std::sqrt(static_cast<float>(dim));
+    table_ = registerParameter(
+        name + ".table", Tensor::randn(rng, vocab, dim, std_dev));
+}
+
+Tensor
+Embedding::forward(const std::vector<int32_t> &ids) const
+{
+    return gatherRows(table_, ids);
+}
+
+Mlp::Mlp(Rng &rng, const std::vector<int64_t> &dims, const std::string &name)
+{
+    SP_ASSERT(dims.size() >= 2, "Mlp needs at least input and output dims");
+    for (size_t i = 0; i + 1 < dims.size(); ++i) {
+        layers_.emplace_back(rng, dims[i], dims[i + 1],
+                             name + ".l" + std::to_string(i));
+    }
+    for (size_t i = 0; i < layers_.size(); ++i)
+        absorb("", layers_[i]);
+}
+
+Tensor
+Mlp::forward(const Tensor &x) const
+{
+    Tensor h = x;
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i].forward(h);
+        if (i + 1 < layers_.size())
+            h = relu(h);
+    }
+    return h;
+}
+
+}  // namespace sp::nn

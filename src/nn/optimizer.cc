@@ -1,0 +1,85 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sp::nn {
+
+Sgd::Sgd(std::vector<Parameter> params, float lr, float weight_decay)
+    : params_(std::move(params)), lr_(lr), weight_decay_(weight_decay)
+{
+}
+
+void
+Sgd::step()
+{
+    for (auto &p : params_) {
+        auto &data = p.tensor.mutableData();
+        const auto &grad = p.tensor.grad();
+        for (size_t i = 0; i < data.size(); ++i) {
+            data[i] -= lr_ * (grad[i] + weight_decay_ * data[i]);
+        }
+    }
+}
+
+Adam::Adam(std::vector<Parameter> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (const auto &p : params_) {
+        m_.emplace_back(p.tensor.data().size(), 0.0f);
+        v_.emplace_back(p.tensor.data().size(), 0.0f);
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const float bias1 =
+        1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bias2 =
+        1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        auto &data = params_[pi].tensor.mutableData();
+        const auto &grad = params_[pi].tensor.grad();
+        auto &m = m_[pi];
+        auto &v = v_[pi];
+        for (size_t i = 0; i < data.size(); ++i) {
+            const float g = grad[i];
+            m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+            v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+            const float m_hat = m[i] / bias1;
+            const float v_hat = v[i] / bias2;
+            data[i] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                              weight_decay_ * data[i]);
+        }
+    }
+}
+
+float
+Adam::clipGradNorm(float max_norm)
+{
+    SP_ASSERT(max_norm > 0.0f);
+    double total = 0.0;
+    for (const auto &p : params_)
+        for (float g : p.tensor.grad())
+            total += static_cast<double>(g) * g;
+    const float norm = static_cast<float>(std::sqrt(total));
+    if (norm > max_norm) {
+        const float factor = max_norm / norm;
+        for (auto &p : params_) {
+            // grad() is const; scale through the node's buffer.
+            auto &node = *p.tensor.node();
+            for (auto &g : node.grad)
+                g *= factor;
+        }
+    }
+    return norm;
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-order optimizers operating on a module's parameter list.
+ */
+#ifndef SP_NN_OPTIMIZER_H
+#define SP_NN_OPTIMIZER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace sp::nn {
+
+/** Plain stochastic gradient descent with optional weight decay. */
+class Sgd
+{
+  public:
+    /**
+     * @param params        parameters to optimize (handles are shared)
+     * @param lr            learning rate
+     * @param weight_decay  decoupled L2 coefficient
+     */
+    Sgd(std::vector<Parameter> params, float lr, float weight_decay = 0.0f);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(float lr) { lr_ = lr; }
+
+  private:
+    std::vector<Parameter> params_;
+    float lr_;
+    float weight_decay_;
+};
+
+/** Adam (Kingma & Ba) with decoupled weight decay (AdamW-style). */
+class Adam
+{
+  public:
+    /**
+     * @param params        parameters to optimize (handles are shared)
+     * @param lr            learning rate
+     * @param beta1         first-moment decay
+     * @param beta2         second-moment decay
+     * @param eps           denominator stabilizer
+     * @param weight_decay  decoupled L2 coefficient
+     */
+    Adam(std::vector<Parameter> params, float lr, float beta1 = 0.9f,
+         float beta2 = 0.999f, float eps = 1e-8f,
+         float weight_decay = 0.0f);
+
+    /** Apply one update from the accumulated gradients. */
+    void step();
+
+    /** Change the learning rate (for schedules). */
+    void setLearningRate(float lr) { lr_ = lr; }
+
+    /** Steps taken so far. */
+    int64_t stepCount() const { return t_; }
+
+    /**
+     * Clip the global gradient norm across all parameters to `max_norm`
+     * before stepping. Returns the pre-clip norm.
+     */
+    float clipGradNorm(float max_norm);
+
+  private:
+    std::vector<Parameter> params_;
+    std::vector<std::vector<float>> m_;
+    std::vector<std::vector<float>> v_;
+    float lr_;
+    float beta1_;
+    float beta2_;
+    float eps_;
+    float weight_decay_;
+    int64_t t_ = 0;
+};
+
+}  // namespace sp::nn
+
+#endif  // SP_NN_OPTIMIZER_H

@@ -1,0 +1,116 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/logging.h"
+
+namespace sp::nn {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x53504e4e434b5031ULL;  // "SPNNCKP1"
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+void
+writeRaw(std::FILE *f, const T &value)
+{
+    if (std::fwrite(&value, sizeof(T), 1, f) != 1)
+        SP_FATAL("checkpoint write failed");
+}
+
+template <typename T>
+void
+readRaw(std::FILE *f, T &value)
+{
+    if (std::fread(&value, sizeof(T), 1, f) != 1)
+        SP_FATAL("checkpoint read failed (truncated file?)");
+}
+
+}  // namespace
+
+void
+saveParameters(const Module &module, const std::string &path)
+{
+    FileHandle f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        SP_FATAL("cannot open checkpoint for writing: %s", path.c_str());
+
+    writeRaw(f.get(), kMagic);
+    const uint64_t count = module.parameters().size();
+    writeRaw(f.get(), count);
+    for (const auto &p : module.parameters()) {
+        const uint64_t name_len = p.name.size();
+        writeRaw(f.get(), name_len);
+        if (std::fwrite(p.name.data(), 1, p.name.size(), f.get()) !=
+            p.name.size()) {
+            SP_FATAL("checkpoint write failed");
+        }
+        const int64_t rows = p.tensor.rows();
+        const int64_t cols = p.tensor.cols();
+        writeRaw(f.get(), rows);
+        writeRaw(f.get(), cols);
+        const auto &data = p.tensor.data();
+        if (std::fwrite(data.data(), sizeof(float), data.size(), f.get()) !=
+            data.size()) {
+            SP_FATAL("checkpoint write failed");
+        }
+    }
+}
+
+bool
+loadParameters(Module &module, const std::string &path)
+{
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+
+    uint64_t magic = 0;
+    readRaw(f.get(), magic);
+    if (magic != kMagic)
+        SP_FATAL("bad checkpoint magic in %s", path.c_str());
+    uint64_t count = 0;
+    readRaw(f.get(), count);
+    if (count != module.parameters().size()) {
+        SP_FATAL("checkpoint has %llu parameters, module has %zu",
+                 static_cast<unsigned long long>(count),
+                 module.parameters().size());
+    }
+    for (const auto &p : module.parameters()) {
+        uint64_t name_len = 0;
+        readRaw(f.get(), name_len);
+        std::string name(name_len, '\0');
+        if (name_len > 0 &&
+            std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+            SP_FATAL("checkpoint read failed");
+        }
+        if (name != p.name)
+            SP_FATAL("checkpoint parameter %s does not match module "
+                     "parameter %s", name.c_str(), p.name.c_str());
+        int64_t rows = 0, cols = 0;
+        readRaw(f.get(), rows);
+        readRaw(f.get(), cols);
+        if (rows != p.tensor.rows() || cols != p.tensor.cols())
+            SP_FATAL("checkpoint shape mismatch for %s", name.c_str());
+        // Parameter handles are shared; write through the node.
+        auto &data = const_cast<Parameter &>(p).tensor.mutableData();
+        if (std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
+            data.size()) {
+            SP_FATAL("checkpoint read failed");
+        }
+    }
+    return true;
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Checkpoint I/O: save and restore a module's parameters to a simple
+ * binary format (magic, count, then name/shape/data records). Used so
+ * that a PMM trained in one binary (or example) can be reused in another.
+ */
+#ifndef SP_NN_SERIALIZE_H
+#define SP_NN_SERIALIZE_H
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace sp::nn {
+
+/** Write all parameters of `module` to `path`. Fatal on I/O error. */
+void saveParameters(const Module &module, const std::string &path);
+
+/**
+ * Load parameters into `module` from `path`, matching by name and shape.
+ * Returns false (leaving the module untouched) when the file does not
+ * exist; fatal on a malformed file or name/shape mismatch.
+ */
+bool loadParameters(Module &module, const std::string &path);
+
+}  // namespace sp::nn
+
+#endif  // SP_NN_SERIALIZE_H

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Minimal reverse-mode automatic differentiation over dense float tensors.
+ *
+ * This is the project's substitute for PyTorch: a tape-based autograd
+ * engine supporting the 1-D and 2-D float operations needed to implement
+ * and train the Program Mutation Model (PMM) — matrix products, row
+ * gather/scatter for graph message passing, layer normalization, the usual
+ * activations, and fused losses. Tensors are shared handles; operations
+ * record a backward closure and parent links, and Tensor::backward() runs
+ * reverse-topological accumulation into each node's grad buffer.
+ *
+ * Shapes are restricted to rank 1 ([n], treated as a row when needed) and
+ * rank 2 ([rows, cols]). That is sufficient for every model in this
+ * repository and keeps the engine small and auditable.
+ */
+#ifndef SP_NN_TENSOR_H
+#define SP_NN_TENSOR_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sp {
+class Rng;
+}
+
+namespace sp::nn {
+
+/** Internal autograd node; users interact through Tensor. */
+struct TensorNode
+{
+    std::vector<float> data;
+    std::vector<float> grad;
+    int64_t rows = 0;
+    int64_t cols = 0;   ///< 0 for rank-1 tensors
+    bool requires_grad = false;
+    std::function<void()> backward_fn;
+    std::vector<std::shared_ptr<TensorNode>> parents;
+
+    /** Total number of elements. */
+    int64_t numel() const { return cols == 0 ? rows : rows * cols; }
+};
+
+/**
+ * Shared handle to an autograd node. Copies alias the same storage.
+ */
+class Tensor
+{
+  public:
+    /** Null tensor (no storage); valid() is false. */
+    Tensor() = default;
+
+    /** True when this handle refers to storage. */
+    bool valid() const { return node_ != nullptr; }
+
+    /** @name Construction */
+    /** @{ */
+    /** Rank-1 zeros of length n. */
+    static Tensor zerosVec(int64_t n, bool requires_grad = false);
+    /** Rank-2 zeros of shape [rows, cols]. */
+    static Tensor zeros(int64_t rows, int64_t cols,
+                        bool requires_grad = false);
+    /** Rank-1 tensor from values. */
+    static Tensor fromVector(std::vector<float> values,
+                             bool requires_grad = false);
+    /** Rank-2 tensor from row-major values. */
+    static Tensor fromMatrix(std::vector<float> values, int64_t rows,
+                             int64_t cols, bool requires_grad = false);
+    /** Gaussian init, std `scale`, rank-2. Used for parameters. */
+    static Tensor randn(Rng &rng, int64_t rows, int64_t cols, float scale,
+                        bool requires_grad = true);
+    /** Scalar constant (rank-1 length 1). */
+    static Tensor scalar(float value, bool requires_grad = false);
+    /** @} */
+
+    /** @name Shape and element access */
+    /** @{ */
+    int64_t rows() const { return node_->rows; }
+    int64_t cols() const { return node_->cols; }
+    int64_t numel() const { return node_->numel(); }
+    bool isMatrix() const { return node_->cols != 0; }
+    float item() const;                       ///< value of a 1-element tensor
+    float at(int64_t i) const;                ///< rank-1 element
+    float at(int64_t r, int64_t c) const;     ///< rank-2 element
+    void set(int64_t i, float v);             ///< rank-1 element write
+    void set(int64_t r, int64_t c, float v);  ///< rank-2 element write
+    const std::vector<float> &data() const { return node_->data; }
+    std::vector<float> &mutableData() { return node_->data; }
+    const std::vector<float> &grad() const { return node_->grad; }
+    bool requiresGrad() const { return node_->requires_grad; }
+    /** @} */
+
+    /**
+     * Run reverse-mode accumulation from this tensor, which must be a
+     * single-element tensor (a loss). Grad buffers of every reachable
+     * node requiring grad are accumulated into (not reset first; call
+     * zeroGrad on parameters between steps).
+     */
+    void backward();
+
+    /** Reset this tensor's grad buffer to zeros. */
+    void zeroGrad();
+
+    /** Access the underlying node (for the op implementations). */
+    const std::shared_ptr<TensorNode> &node() const { return node_; }
+
+    /** Wrap an existing node. */
+    explicit Tensor(std::shared_ptr<TensorNode> node)
+        : node_(std::move(node)) {}
+
+  private:
+    std::shared_ptr<TensorNode> node_;
+};
+
+/** @name Differentiable operations */
+/** @{ */
+
+/** Matrix product [n,k]x[k,m] -> [n,m]. */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** Elementwise sum of same-shape tensors. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** Elementwise difference of same-shape tensors. */
+Tensor sub(const Tensor &a, const Tensor &b);
+
+/** Elementwise product of same-shape tensors. */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** Add a rank-1 bias of length cols(a) to every row of matrix a. */
+Tensor addRowVec(const Tensor &a, const Tensor &b);
+
+/** Multiply every row of matrix a elementwise by a rank-1 vector. */
+Tensor mulRowVec(const Tensor &a, const Tensor &b);
+
+/** Multiply by a scalar constant. */
+Tensor scale(const Tensor &a, float factor);
+
+/** Rectified linear unit. */
+Tensor relu(const Tensor &a);
+
+/** Hyperbolic tangent. */
+Tensor tanhT(const Tensor &a);
+
+/** Logistic sigmoid. */
+Tensor sigmoid(const Tensor &a);
+
+/**
+ * Gather rows of a matrix: out[i, :] = a[index[i], :]. Indices may
+ * repeat; backward scatter-adds.
+ */
+Tensor gatherRows(const Tensor &a, const std::vector<int32_t> &index);
+
+/**
+ * Scatter-add rows: out has `out_rows` rows; out[index[i], :] += a[i, :].
+ * The core primitive of graph message passing.
+ */
+Tensor scatterAddRows(const Tensor &a, const std::vector<int32_t> &index,
+                      int64_t out_rows);
+
+/** Scale each row i of a by the constant factor scales[i] (no grad). */
+Tensor rowScale(const Tensor &a, const std::vector<float> &scales);
+
+/**
+ * Differentiable per-row scaling: out[i,:] = a[i,:] * v[i], where v is
+ * a rank-1 tensor of length rows(a). Gradients flow to both operands
+ * (the attention-weighting primitive).
+ */
+Tensor rowScaleT(const Tensor &a, const Tensor &v);
+
+/** Leaky rectifier: x if x > 0 else slope * x. */
+Tensor leakyRelu(const Tensor &a, float slope = 0.2f);
+
+/**
+ * Softmax over variable-size segments of a rank-1 tensor: element i
+ * belongs to segment `segment[i]`; the result is normalized within
+ * each segment (the per-destination attention normalizer of GAT).
+ */
+Tensor segmentSoftmax(const Tensor &scores,
+                      const std::vector<int32_t> &segment,
+                      int32_t num_segments);
+
+/** Concatenate matrices with equal row counts along columns. */
+Tensor concatCols(const std::vector<Tensor> &parts);
+
+/** Concatenate matrices with equal column counts along rows. */
+Tensor concatRows(const std::vector<Tensor> &parts);
+
+/** Per-row layer normalization (no learnable parameters; compose). */
+Tensor layerNormRows(const Tensor &a, float eps = 1e-5f);
+
+/** Per-row softmax. */
+Tensor softmaxRows(const Tensor &a);
+
+/** Reshape any tensor to rank-1 (identity values and gradient). */
+Tensor flatten(const Tensor &a);
+
+/** Mean over all elements -> scalar. */
+Tensor meanAll(const Tensor &a);
+
+/** Sum over all elements -> scalar. */
+Tensor sumAll(const Tensor &a);
+
+/**
+ * Fused binary-cross-entropy-with-logits, mean over elements:
+ *   loss = mean_i w_i * [ log(1+exp(x_i)) - y_i * x_i ]
+ * targets/weights are constants of the same length as logits (rank-1).
+ */
+Tensor bceWithLogits(const Tensor &logits, const std::vector<float> &targets,
+                     const std::vector<float> &weights);
+
+/**
+ * Fused softmax-cross-entropy, mean over rows: logits is [n, classes],
+ * targets holds one class index per row.
+ */
+Tensor crossEntropyRows(const Tensor &logits,
+                        const std::vector<int32_t> &targets);
+
+/**
+ * Dropout: zero elements with probability p and scale the rest by
+ * 1/(1-p). Identity when `training` is false or p == 0.
+ */
+Tensor dropout(const Tensor &a, float p, Rng &rng, bool training);
+
+/** @} */
+
+}  // namespace sp::nn
+
+#endif  // SP_NN_TENSOR_H

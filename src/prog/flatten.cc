@@ -1,0 +1,178 @@
+#include "prog/flatten.h"
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sp::prog {
+
+namespace {
+
+void
+enumerateType(const TypeRef &type, std::vector<uint16_t> &path,
+              uint32_t &next, std::vector<SlotDesc> &out)
+{
+    auto emit = [&](SlotRole role, bool is_mutable) {
+        SlotDesc desc;
+        desc.index = next++;
+        desc.type = type;
+        desc.role = role;
+        desc.path = path;
+        desc.is_mutable = is_mutable;
+        out.push_back(std::move(desc));
+    };
+
+    switch (type->kind) {
+      case TypeKind::Int:
+      case TypeKind::Flags:
+        emit(SlotRole::Value, true);
+        break;
+      case TypeKind::Const:
+      case TypeKind::Len:
+        // Fixed or auto-computed: visible to the kernel, not mutable.
+        emit(SlotRole::Value, false);
+        break;
+      case TypeKind::Resource:
+        emit(SlotRole::Value, true);
+        break;
+      case TypeKind::Ptr:
+        emit(SlotRole::PtrNull, type->opt);
+        path.push_back(0);
+        enumerateType(type->elem, path, next, out);
+        path.pop_back();
+        break;
+      case TypeKind::Struct:
+        for (size_t i = 0; i < type->fields.size(); ++i) {
+            path.push_back(static_cast<uint16_t>(i));
+            enumerateType(type->fields[i], path, next, out);
+            path.pop_back();
+        }
+        break;
+      case TypeKind::Buffer:
+        emit(SlotRole::BufLen, true);
+        emit(SlotRole::BufClass, true);
+        break;
+    }
+}
+
+void
+flattenArg(const Arg &arg, const ResourceResolver &resolve,
+           std::vector<uint64_t> &out)
+{
+    switch (arg.type->kind) {
+      case TypeKind::Int:
+      case TypeKind::Flags:
+      case TypeKind::Const:
+      case TypeKind::Len:
+        out.push_back(arg.scalar);
+        break;
+      case TypeKind::Resource:
+        out.push_back(resolve(arg.result_ref));
+        break;
+      case TypeKind::Ptr:
+        out.push_back(arg.is_null ? 0 : 1);
+        if (arg.is_null) {
+            // Keep arity: emit zeroed slots for the whole pointee shape.
+            const uint32_t n = slotCount(*arg.type->elem);
+            out.insert(out.end(), n, 0);
+        } else {
+            flattenArg(*arg.pointee, resolve, out);
+        }
+        break;
+      case TypeKind::Struct:
+        for (const auto &f : arg.fields)
+            flattenArg(*f, resolve, out);
+        break;
+      case TypeKind::Buffer:
+        out.push_back(arg.bytes.size());
+        out.push_back(fnv1aBytes(arg.bytes.data(), arg.bytes.size()) %
+                      kBufferClassCount);
+        break;
+    }
+}
+
+}  // namespace
+
+std::vector<SlotDesc>
+enumerateSlots(const SyscallDecl &decl)
+{
+    std::vector<SlotDesc> out;
+    std::vector<uint16_t> path;
+    uint32_t next = 0;
+    for (size_t i = 0; i < decl.args.size(); ++i) {
+        path.push_back(static_cast<uint16_t>(i));
+        enumerateType(decl.args[i], path, next, out);
+        path.pop_back();
+    }
+    SP_ASSERT(next == slotCount(decl), "slot enumeration arity mismatch");
+    return out;
+}
+
+std::vector<uint64_t>
+flattenCall(const Call &call, const ResourceResolver &resolve)
+{
+    std::vector<uint64_t> out;
+    out.reserve(slotCount(*call.decl));
+    for (const auto &arg : call.args)
+        flattenArg(*arg, resolve, out);
+    SP_ASSERT(out.size() == slotCount(*call.decl),
+              "flattened arity mismatch for %s", call.decl->name.c_str());
+    return out;
+}
+
+uint64_t
+staticResolver(int32_t result_ref)
+{
+    return result_ref < 0 ? kBadHandle
+                          : static_cast<uint64_t>(result_ref);
+}
+
+std::vector<MutationPoint>
+mutationPoints(const Call &call)
+{
+    std::vector<MutationPoint> points;
+    const auto slots = enumerateSlots(*call.decl);
+    for (const auto &slot : slots) {
+        if (!slot.is_mutable)
+            continue;
+        // A buffer contributes two slots; collapse onto one point.
+        if (!points.empty() && points.back().path == slot.path)
+            continue;
+        // Skip slots whose owning node is inside a currently-null
+        // pointer: mutating them has no observable effect until the
+        // pointer is made non-null (the PtrNull point itself remains).
+        bool reachable = true;
+        {
+            const Arg *node = call.args[slot.path[0]].get();
+            for (size_t i = 1; i < slot.path.size() && reachable; ++i) {
+                if (node->type->kind == TypeKind::Ptr) {
+                    if (node->is_null) {
+                        reachable = false;
+                        break;
+                    }
+                    node = node->pointee.get();
+                } else {
+                    node = node->fields[slot.path[i]].get();
+                }
+            }
+        }
+        if (!reachable)
+            continue;
+        MutationPoint point;
+        point.path = slot.path;
+        point.type = slot.type;
+        point.first_slot = slot.index;
+        points.push_back(std::move(point));
+    }
+    return points;
+}
+
+size_t
+countMutableArgs(const Prog &prog)
+{
+    size_t total = 0;
+    for (const auto &call : prog.calls)
+        total += mutationPoints(call).size();
+    return total;
+}
+
+}  // namespace sp::prog

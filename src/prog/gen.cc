@@ -1,0 +1,198 @@
+#include "prog/gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sp::prog {
+
+namespace {
+
+uint64_t
+truncateToBits(uint64_t value, uint32_t bits)
+{
+    if (bits >= 64)
+        return value;
+    return value & ((1ULL << bits) - 1);
+}
+
+uint64_t
+generateIntValue(Rng &rng, const Type &type)
+{
+    const double roll = rng.uniform();
+    if (!type.domain.empty() && roll < 0.45) {
+        return type.domain[rng.below(type.domain.size())];
+    }
+    if (roll < 0.6) {
+        // Boundary values.
+        switch (rng.below(4)) {
+          case 0:
+            return static_cast<uint64_t>(type.min);
+          case 1:
+            return static_cast<uint64_t>(type.max);
+          case 2:
+            return 0;
+          default:
+            return truncateToBits(~0ULL, type.bits);
+        }
+    }
+    return static_cast<uint64_t>(rng.range(type.min, type.max));
+}
+
+uint64_t
+generateFlagsValue(Rng &rng, const Type &type)
+{
+    if (rng.chance(0.05)) {
+        // Occasionally an out-of-domain garbage value, as fuzzers do.
+        return rng.next() & 0xffff;
+    }
+    if (!type.combinable || rng.chance(0.5))
+        return type.domain[rng.below(type.domain.size())];
+    uint64_t value = 0;
+    const size_t n = 1 + rng.below(std::min<size_t>(3, type.domain.size()));
+    for (size_t i = 0; i < n; ++i)
+        value |= type.domain[rng.below(type.domain.size())];
+    return value;
+}
+
+// Small byte alphabet so buffer content classes collide usefully.
+uint8_t
+generateByte(Rng &rng)
+{
+    static const uint8_t kAlphabet[] = {0x00, 0x01, 0x41, 0x61, 0x62,
+                                        0x64, 0x66, 0x69, 0x6c, 0xff};
+    if (rng.chance(0.2))
+        return static_cast<uint8_t>(rng.below(256));
+    return kAlphabet[rng.below(sizeof(kAlphabet))];
+}
+
+}  // namespace
+
+ArgPtr
+generateArg(Rng &rng, const TypeRef &type, const GenOptions &opts)
+{
+    auto arg = std::make_unique<Arg>();
+    arg->type = type;
+    switch (type->kind) {
+      case TypeKind::Int:
+        arg->scalar = generateIntValue(rng, *type);
+        break;
+      case TypeKind::Flags:
+        arg->scalar = generateFlagsValue(rng, *type);
+        break;
+      case TypeKind::Const:
+        arg->scalar = type->const_value;
+        break;
+      case TypeKind::Len:
+        arg->scalar = 0;  // fixed up after the call is assembled
+        break;
+      case TypeKind::Resource:
+        arg->result_ref = -1;  // bound by generateProg
+        break;
+      case TypeKind::Ptr:
+        if (type->opt && rng.chance(opts.null_ptr_prob)) {
+            arg->is_null = true;
+        } else {
+            arg->pointee = generateArg(rng, type->elem, opts);
+        }
+        break;
+      case TypeKind::Struct:
+        for (const auto &f : type->fields)
+            arg->fields.push_back(generateArg(rng, f, opts));
+        break;
+      case TypeKind::Buffer: {
+        const uint32_t len = static_cast<uint32_t>(
+            rng.range(type->buf_min, type->buf_max));
+        arg->bytes.resize(len);
+        for (auto &b : arg->bytes)
+            b = generateByte(rng);
+        break;
+      }
+    }
+    return arg;
+}
+
+namespace {
+
+// Bind unresolved resource arguments of `call` (the call at index
+// `call_index`) to producers among the preceding calls.
+void
+bindResources(Rng &rng, Prog &prog, Call &call, size_t call_index,
+              const GenOptions &opts)
+{
+    visitArgsMut(call, [&](Arg &arg, const std::vector<uint16_t> &) {
+        if (arg.type->kind != TypeKind::Resource || arg.result_ref >= 0)
+            return;
+        std::vector<int32_t> producers;
+        for (size_t j = 0; j < call_index; ++j) {
+            if (prog.calls[j].decl->ret_resource ==
+                arg.type->resource_kind) {
+                producers.push_back(static_cast<int32_t>(j));
+            }
+        }
+        if (!producers.empty() && rng.chance(opts.resource_bind_prob))
+            arg.result_ref = producers[rng.below(producers.size())];
+    });
+}
+
+}  // namespace
+
+Prog
+generateProg(Rng &rng, const SyscallTable &table, const GenOptions &opts)
+{
+    SP_ASSERT(!table.decls.empty(), "cannot generate over an empty table");
+    Prog prog;
+    const size_t length = static_cast<size_t>(
+        rng.range(static_cast<int64_t>(opts.min_calls),
+                  static_cast<int64_t>(opts.max_calls)));
+
+    for (size_t i = 0; i < length; ++i) {
+        // Weight decls by whether their consumed resources are already
+        // producible by the program built so far.
+        std::vector<double> weights(table.decls.size());
+        for (size_t d = 0; d < table.decls.size(); ++d) {
+            bool unmet = false;
+            for (const auto &kind :
+                 table.decls[d].consumedResourceKinds()) {
+                bool have = false;
+                for (const auto &call : prog.calls)
+                    have |= (call.decl->ret_resource == kind);
+                unmet |= !have;
+            }
+            weights[d] = unmet ? opts.unmet_resource_weight : 1.0;
+        }
+        const auto &decl = table.decls[rng.weightedIndex(weights)];
+
+        Call call;
+        call.decl = &decl;
+        for (const auto &t : decl.args)
+            call.args.push_back(generateArg(rng, t, opts));
+        prog.calls.push_back(std::move(call));
+        bindResources(rng, prog, prog.calls.back(), i, opts);
+        fixupLengths(prog.calls.back());
+    }
+    return prog;
+}
+
+std::vector<Prog>
+generateCorpus(Rng &rng, const SyscallTable &table, size_t count,
+               const GenOptions &opts)
+{
+    std::vector<Prog> corpus;
+    std::unordered_set<uint64_t> seen;
+    size_t attempts = 0;
+    const size_t max_attempts = count * 50 + 100;
+    while (corpus.size() < count && attempts++ < max_attempts) {
+        Prog prog = generateProg(rng, table, opts);
+        if (seen.insert(prog.hash()).second)
+            corpus.push_back(std::move(prog));
+    }
+    if (corpus.size() < count) {
+        SP_WARN("generateCorpus produced %zu/%zu unique programs",
+                corpus.size(), count);
+    }
+    return corpus;
+}
+
+}  // namespace sp::prog

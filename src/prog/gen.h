@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Random generation of well-formed test programs, mirroring Syzkaller's
+ * generator: calls are chosen so that consumed resources usually have an
+ * in-program producer, and argument values are drawn from each type's
+ * interesting domain with boundary and random excursions.
+ */
+#ifndef SP_PROG_GEN_H
+#define SP_PROG_GEN_H
+
+#include "prog/value.h"
+#include "util/rng.h"
+
+namespace sp::prog {
+
+/** Tuning knobs for program generation. */
+struct GenOptions
+{
+    size_t min_calls = 2;
+    size_t max_calls = 8;
+    /** Probability that a resource argument references a live producer. */
+    double resource_bind_prob = 0.9;
+    /** Weight penalty for picking a call whose resources are unmet. */
+    double unmet_resource_weight = 0.15;
+    /** Probability an optional pointer is generated null. */
+    double null_ptr_prob = 0.08;
+};
+
+/** Generate a random value for `type`. Resources get result_ref -1. */
+ArgPtr generateArg(Rng &rng, const TypeRef &type, const GenOptions &opts);
+
+/**
+ * Generate a random program over `table`. Resource arguments bind to
+ * producers already present in the program when possible.
+ */
+Prog generateProg(Rng &rng, const SyscallTable &table,
+                  const GenOptions &opts = {});
+
+/**
+ * Generate a seed corpus of `count` distinct programs (by content hash).
+ */
+std::vector<Prog> generateCorpus(Rng &rng, const SyscallTable &table,
+                                 size_t count, const GenOptions &opts = {});
+
+}  // namespace sp::prog
+
+#endif  // SP_PROG_GEN_H

@@ -1,0 +1,374 @@
+#include "prog/serialize.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sp::prog {
+
+namespace {
+
+void
+formatArg(const Arg &arg, std::ostringstream &out)
+{
+    switch (arg.type->kind) {
+      case TypeKind::Int:
+      case TypeKind::Flags:
+      case TypeKind::Const:
+      case TypeKind::Len: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%llx",
+                      static_cast<unsigned long long>(arg.scalar));
+        out << buf;
+        break;
+      }
+      case TypeKind::Resource:
+        if (arg.result_ref < 0)
+            out << "nil";
+        else
+            out << "r" << arg.result_ref;
+        break;
+      case TypeKind::Ptr:
+        if (arg.is_null) {
+            out << "nil";
+        } else {
+            out << "&";
+            formatArg(*arg.pointee, out);
+        }
+        break;
+      case TypeKind::Struct:
+        out << "{";
+        for (size_t i = 0; i < arg.fields.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            formatArg(*arg.fields[i], out);
+        }
+        out << "}";
+        break;
+      case TypeKind::Buffer: {
+        out << "\"";
+        for (uint8_t b : arg.bytes) {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%02x", b);
+            out << buf;
+        }
+        out << "\"";
+        break;
+      }
+    }
+}
+
+}  // namespace
+
+std::string
+formatCall(const Call &call, size_t call_index)
+{
+    std::ostringstream out;
+    if (!call.decl->ret_resource.empty())
+        out << "r" << call_index << " = ";
+    out << call.decl->name << "(";
+    for (size_t i = 0; i < call.args.size(); ++i) {
+        if (i > 0)
+            out << ", ";
+        formatArg(*call.args[i], out);
+    }
+    out << ")";
+    return out.str();
+}
+
+std::string
+formatProg(const Prog &prog)
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < prog.calls.size(); ++i)
+        out << formatCall(prog.calls[i], i) << "\n";
+    return out.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over the serialized form. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, const SyscallTable &table)
+        : text_(text), table_(table)
+    {
+    }
+
+    ParseResult run()
+    {
+        Prog prog;
+        skipSpace();
+        while (pos_ < text_.size()) {
+            if (!parseCallLine(prog)) {
+                ParseResult result;
+                result.error = error_;
+                return result;
+            }
+            skipSpace();
+        }
+        ParseResult result;
+        result.prog = std::move(prog);
+        return result;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        size_t line = 1, col = 1;
+        for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        std::ostringstream out;
+        out << "parse error at line " << line << " col " << col << ": "
+            << what;
+        error_ = out.str();
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    void
+    skipBlanks()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t')) {
+            ++pos_;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        skipBlanks();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipBlanks();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    parseIdent(std::string &out)
+    {
+        skipBlanks();
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected identifier");
+        out = text_.substr(start, pos_ - start);
+        return true;
+    }
+
+    bool
+    parseHex(uint64_t &out)
+    {
+        skipBlanks();
+        if (pos_ + 1 >= text_.size() || text_[pos_] != '0' ||
+            (text_[pos_ + 1] != 'x' && text_[pos_ + 1] != 'X')) {
+            return fail("expected 0x literal");
+        }
+        pos_ += 2;
+        size_t start = pos_;
+        uint64_t value = 0;
+        while (pos_ < text_.size() &&
+               std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+            const char c = text_[pos_];
+            uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint64_t>(c - '0');
+            else
+                digit = static_cast<uint64_t>(
+                            std::tolower(static_cast<unsigned char>(c)) -
+                            'a') + 10;
+            value = value * 16 + digit;
+            ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected hex digits after 0x");
+        out = value;
+        return true;
+    }
+
+    bool
+    tryKeyword(const char *kw)
+    {
+        skipBlanks();
+        const size_t len = std::char_traits<char>::length(kw);
+        if (text_.compare(pos_, len, kw) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseArg(const TypeRef &type, ArgPtr &out)
+    {
+        auto arg = std::make_unique<Arg>();
+        arg->type = type;
+        switch (type->kind) {
+          case TypeKind::Int:
+          case TypeKind::Flags:
+          case TypeKind::Const:
+          case TypeKind::Len:
+            if (!parseHex(arg->scalar))
+                return false;
+            break;
+          case TypeKind::Resource: {
+            if (tryKeyword("nil")) {
+                arg->result_ref = -1;
+                break;
+            }
+            skipBlanks();
+            if (pos_ >= text_.size() || text_[pos_] != 'r')
+                return fail("expected rN or nil for resource");
+            ++pos_;
+            uint64_t index = 0;
+            size_t start = pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                index = index * 10 +
+                        static_cast<uint64_t>(text_[pos_] - '0');
+                ++pos_;
+            }
+            if (pos_ == start)
+                return fail("expected digits after r");
+            arg->result_ref = static_cast<int32_t>(index);
+            break;
+          }
+          case TypeKind::Ptr:
+            if (tryKeyword("nil")) {
+                arg->is_null = true;
+                break;
+            }
+            if (!expect('&'))
+                return false;
+            if (!parseArg(type->elem, arg->pointee))
+                return false;
+            break;
+          case TypeKind::Struct: {
+            if (!expect('{'))
+                return false;
+            for (size_t i = 0; i < type->fields.size(); ++i) {
+                if (i > 0 && !expect(','))
+                    return false;
+                ArgPtr field;
+                if (!parseArg(type->fields[i], field))
+                    return false;
+                arg->fields.push_back(std::move(field));
+            }
+            if (!expect('}'))
+                return false;
+            break;
+          }
+          case TypeKind::Buffer: {
+            if (!expect('"'))
+                return false;
+            std::vector<uint8_t> bytes;
+            while (pos_ + 1 < text_.size() && text_[pos_] != '"') {
+                auto hexVal = [&](char c) -> int {
+                    if (c >= '0' && c <= '9')
+                        return c - '0';
+                    c = static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(c)));
+                    if (c >= 'a' && c <= 'f')
+                        return c - 'a' + 10;
+                    return -1;
+                };
+                int hi = hexVal(text_[pos_]);
+                int lo = hexVal(text_[pos_ + 1]);
+                if (hi < 0 || lo < 0)
+                    return fail("bad hex byte in buffer");
+                bytes.push_back(static_cast<uint8_t>(hi * 16 + lo));
+                pos_ += 2;
+            }
+            if (!expect('"'))
+                return false;
+            arg->bytes = std::move(bytes);
+            break;
+          }
+        }
+        out = std::move(arg);
+        return true;
+    }
+
+    bool
+    parseCallLine(Prog &prog)
+    {
+        std::string first;
+        if (!parseIdent(first))
+            return false;
+        std::string name = first;
+        if (peekIs('=')) {
+            // "rN = name(...)": validate the variable index then parse
+            // the real call name.
+            if (first.empty() || first[0] != 'r')
+                return fail("assignment target must be rN");
+            expect('=');
+            if (!parseIdent(name))
+                return false;
+        }
+        const SyscallDecl *decl = table_.find(name);
+        if (decl == nullptr)
+            return fail("unknown syscall: " + name);
+
+        Call call;
+        call.decl = decl;
+        if (!expect('('))
+            return false;
+        for (size_t i = 0; i < decl->args.size(); ++i) {
+            if (i > 0 && !expect(','))
+                return false;
+            ArgPtr arg;
+            if (!parseArg(decl->args[i], arg))
+                return false;
+            call.args.push_back(std::move(arg));
+        }
+        if (!expect(')'))
+            return false;
+        prog.calls.push_back(std::move(call));
+        return true;
+    }
+
+    const std::string &text_;
+    const SyscallTable &table_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+}  // namespace
+
+ParseResult
+parseProg(const std::string &text, const SyscallTable &table)
+{
+    return Parser(text, table).run();
+}
+
+}  // namespace sp::prog

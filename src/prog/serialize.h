@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Text serialization of programs in a Syzlang-like syntax.
+ *
+ * Example:
+ *     r0 = open$file(&{0x2f, "66696c65"}, 0x42, 0x1ff)
+ *     read(r0, &"0000", 0x4)
+ *
+ * Scalars print as hex; resources as rN (producing call index) or nil;
+ * pointers as &<pointee> or nil; structs as {field, ...}; buffers as
+ * quoted hex strings. The parser is a strict recursive descent over the
+ * declared types — it needs the SyscallTable to know each argument's
+ * shape — and reports errors with line/column context.
+ */
+#ifndef SP_PROG_SERIALIZE_H
+#define SP_PROG_SERIALIZE_H
+
+#include <optional>
+#include <string>
+
+#include "prog/value.h"
+
+namespace sp::prog {
+
+/** Render a single call (without trailing newline). */
+std::string formatCall(const Call &call, size_t call_index);
+
+/** Render a whole program, one call per line. */
+std::string formatProg(const Prog &prog);
+
+/** Parse result carrying either a program or an error description. */
+struct ParseResult
+{
+    std::optional<Prog> prog;
+    std::string error;  ///< empty on success
+
+    bool ok() const { return prog.has_value(); }
+};
+
+/** Parse a program rendered by formatProg. */
+ParseResult parseProg(const std::string &text, const SyscallTable &table);
+
+}  // namespace sp::prog
+
+#endif  // SP_PROG_SERIALIZE_H

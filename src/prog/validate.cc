@@ -1,0 +1,166 @@
+#include "prog/validate.h"
+
+#include <sstream>
+
+namespace sp::prog {
+
+namespace {
+
+bool
+validateArg(const Arg &arg, const TypeRef &expected, const Prog &prog,
+            size_t call_index, std::string &error)
+{
+    std::ostringstream out;
+    if (arg.type.get() != expected.get()) {
+        out << "call " << call_index << ": argument type mismatch ("
+            << arg.type->name << " vs " << expected->name << ")";
+        error = out.str();
+        return false;
+    }
+    switch (expected->kind) {
+      case TypeKind::Const:
+        if (arg.scalar != expected->const_value) {
+            out << "call " << call_index << ": const " << expected->name
+                << " changed";
+            error = out.str();
+            return false;
+        }
+        return true;
+      case TypeKind::Resource: {
+        if (arg.result_ref < 0)
+            return true;  // intentionally-invalid handle
+        const auto ref = static_cast<size_t>(arg.result_ref);
+        if (ref >= call_index) {
+            out << "call " << call_index
+                << ": resource reference r" << ref
+                << " does not precede the call";
+            error = out.str();
+            return false;
+        }
+        if (prog.calls[ref].decl->ret_resource !=
+            expected->resource_kind) {
+            out << "call " << call_index << ": r" << ref << " produces '"
+                << prog.calls[ref].decl->ret_resource << "', wanted '"
+                << expected->resource_kind << "'";
+            error = out.str();
+            return false;
+        }
+        return true;
+      }
+      case TypeKind::Ptr:
+        if (arg.is_null) {
+            if (arg.pointee) {
+                out << "call " << call_index
+                    << ": null pointer with pointee";
+                error = out.str();
+                return false;
+            }
+            return true;
+        }
+        if (!arg.pointee) {
+            out << "call " << call_index
+                << ": non-null pointer without pointee";
+            error = out.str();
+            return false;
+        }
+        return validateArg(*arg.pointee, expected->elem, prog, call_index,
+                           error);
+      case TypeKind::Struct:
+        if (arg.fields.size() != expected->fields.size()) {
+            out << "call " << call_index << ": struct " << expected->name
+                << " has " << arg.fields.size() << " fields, wanted "
+                << expected->fields.size();
+            error = out.str();
+            return false;
+        }
+        for (size_t i = 0; i < arg.fields.size(); ++i) {
+            if (!validateArg(*arg.fields[i], expected->fields[i], prog,
+                             call_index, error)) {
+                return false;
+            }
+        }
+        return true;
+      default:
+        return true;
+    }
+}
+
+// Check Len fields in a sibling group.
+bool
+checkSiblingLens(const std::vector<ArgPtr> &siblings, size_t call_index,
+                 std::string &error)
+{
+    for (const auto &arg : siblings) {
+        if (arg->type->kind != TypeKind::Len)
+            continue;
+        const uint32_t target = arg->type->len_target;
+        if (target >= siblings.size())
+            continue;
+        const Arg &sib = *siblings[target];
+        uint64_t expected_len = arg->scalar;
+        bool has_buffer = false;
+        if (sib.type->kind == TypeKind::Buffer) {
+            has_buffer = true;
+            expected_len = sib.bytes.size();
+        } else if (sib.type->kind == TypeKind::Ptr && !sib.is_null &&
+                   sib.pointee->type->kind == TypeKind::Buffer) {
+            has_buffer = true;
+            expected_len = sib.pointee->bytes.size();
+        }
+        if (has_buffer && arg->scalar != expected_len) {
+            std::ostringstream out;
+            out << "call " << call_index << ": len field "
+                << arg->type->name << " is " << arg->scalar
+                << ", buffer has " << expected_len;
+            error = out.str();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+checkLensRec(const Arg &arg, size_t call_index, std::string &error)
+{
+    if (arg.type->kind == TypeKind::Ptr && !arg.is_null)
+        return checkLensRec(*arg.pointee, call_index, error);
+    if (arg.type->kind == TypeKind::Struct) {
+        for (const auto &f : arg.fields)
+            if (!checkLensRec(*f, call_index, error))
+                return false;
+        return checkSiblingLens(arg.fields, call_index, error);
+    }
+    return true;
+}
+
+}  // namespace
+
+std::optional<std::string>
+validateProg(const Prog &prog)
+{
+    std::string error;
+    for (size_t i = 0; i < prog.calls.size(); ++i) {
+        const Call &call = prog.calls[i];
+        if (call.decl == nullptr)
+            return "call " + std::to_string(i) + ": missing declaration";
+        if (call.args.size() != call.decl->args.size()) {
+            return "call " + std::to_string(i) + ": argument count " +
+                   std::to_string(call.args.size()) + ", declared " +
+                   std::to_string(call.decl->args.size());
+        }
+        for (size_t j = 0; j < call.args.size(); ++j) {
+            if (!validateArg(*call.args[j], call.decl->args[j], prog, i,
+                             error)) {
+                return error;
+            }
+        }
+        for (const auto &arg : call.args)
+            if (!checkLensRec(*arg, i, error))
+                return error;
+        if (!checkSiblingLens(call.args, i, error))
+            return error;
+    }
+    return std::nullopt;
+}
+
+}  // namespace sp::prog

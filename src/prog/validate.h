@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structural validation of programs: shape agreement with declarations
+ * and referential integrity of resource bindings. Used as a test oracle
+ * and as a guard after mutations.
+ */
+#ifndef SP_PROG_VALIDATE_H
+#define SP_PROG_VALIDATE_H
+
+#include <optional>
+#include <string>
+
+#include "prog/value.h"
+
+namespace sp::prog {
+
+/**
+ * Check a program's structural invariants:
+ *  - every call has one value per declared argument, types matching;
+ *  - struct field arity matches the type;
+ *  - non-null pointers carry a pointee of the element type;
+ *  - resource references point to an *earlier* call whose return
+ *    resource kind matches;
+ *  - Len fields equal their sibling buffer's current size.
+ *
+ * Returns std::nullopt when valid, otherwise a description of the first
+ * violation. Value ranges are deliberately not enforced — mutations may
+ * take scalars out of range, exactly like a real fuzzer does.
+ */
+std::optional<std::string> validateProg(const Prog &prog);
+
+}  // namespace sp::prog
+
+#endif  // SP_PROG_VALIDATE_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Small non-cryptographic hashing helpers used for coverage signatures,
+ * crash deduplication and corpus identity.
+ */
+#ifndef SP_UTIL_HASH_H
+#define SP_UTIL_HASH_H
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace sp {
+
+/**
+ * FNV-1a over a byte range. Named distinctly from the string_view
+ * overload so that a string literal can never bind its seed as a length.
+ */
+inline uint64_t
+fnv1aBytes(const void *data, size_t len,
+           uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** FNV-1a over a string view. */
+inline uint64_t
+fnv1a(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL)
+{
+    return fnv1aBytes(s.data(), s.size(), seed);
+}
+
+/** Mix two 64-bit hashes (boost-style combine with a stronger finalizer). */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Hash a single integer value. */
+inline uint64_t
+hashU64(uint64_t v)
+{
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    v *= 0xc4ceb9fe1a85ec53ULL;
+    v ^= v >> 33;
+    return v;
+}
+
+}  // namespace sp
+
+#endif  // SP_UTIL_HASH_H

@@ -1,0 +1,79 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <mutex>
+
+namespace sp {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+// Serializes log lines so concurrent fuzzer threads do not interleave.
+std::mutex g_log_mutex;
+
+void
+vlogLine(const char *tag, const char *file, int line,
+         const char *fmt, va_list args)
+{
+    std::lock_guard<std::mutex> guard(g_log_mutex);
+    if (file != nullptr)
+        std::fprintf(stderr, "[%s] %s:%d: ", tag, file, line);
+    else
+        std::fprintf(stderr, "[%s] ", tag);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogLine("panic", file, line, fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vlogLine("fatal", file, line, fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const char *tag, const char *fmt, ...)
+{
+    if (static_cast<int>(level) >
+        g_level.load(std::memory_order_relaxed)) {
+        return;
+    }
+    va_list args;
+    va_start(args, fmt);
+    vlogLine(tag, nullptr, 0, fmt, args);
+    va_end(args);
+}
+
+}  // namespace detail
+}  // namespace sp

@@ -1,0 +1,143 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace sp {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    SP_ASSERT(bound > 0);
+    // Debiased via rejection on the top of the range.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    SP_ASSERT(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0)  // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(below(span));
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+bool
+Rng::oneIn(uint64_t n)
+{
+    SP_ASSERT(n >= 1);
+    return below(n) == 0;
+}
+
+double
+Rng::gaussian()
+{
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * M_PI * u2);
+}
+
+size_t
+Rng::weightedIndex(const std::vector<double> &weights)
+{
+    SP_ASSERT(!weights.empty());
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0)
+        return below(weights.size());
+    double point = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        point -= weights[i];
+        if (point < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<size_t>
+Rng::sampleIndices(size_t n, size_t k)
+{
+    SP_ASSERT(k <= n);
+    std::vector<size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), size_t{0});
+    for (size_t i = 0; i < k; ++i) {
+        size_t j = i + static_cast<size_t>(below(n - i));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace sp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything in this project that makes a random choice draws from an Rng
+ * seeded explicitly by the caller, so that experiments, tests and dataset
+ * collection are reproducible bit-for-bit. The generator is xoshiro256**
+ * seeded via splitmix64.
+ */
+#ifndef SP_UTIL_RNG_H
+#define SP_UTIL_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sp {
+
+/** Mix a 64-bit value through the splitmix64 finalizer. */
+uint64_t splitmix64(uint64_t &state);
+
+/** Deterministic xoshiro256** generator with convenience samplers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(uint64_t seed = 0);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound); bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** True with probability p (clamped to [0, 1]). */
+    bool chance(double p);
+
+    /** True one time in n (n >= 1). */
+    bool oneIn(uint64_t n);
+
+    /** Standard-normal draw (Box-Muller, no cached spare). */
+    double gaussian();
+
+    /** Uniformly pick an index weighted by the given nonnegative weights. */
+    size_t weightedIndex(const std::vector<double> &weights);
+
+    /**
+     * Pick k distinct indices out of n (k <= n) by partial Fisher-Yates.
+     * The result order is random.
+     */
+    std::vector<size_t> sampleIndices(size_t n, size_t k);
+
+    /** Fork a child generator whose stream is independent of this one. */
+    Rng fork();
+
+  private:
+    uint64_t s_[4];
+};
+
+}  // namespace sp
+
+#endif  // SP_UTIL_RNG_H

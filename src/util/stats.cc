@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace sp {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::min() const
+{
+    return n_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStat::max() const
+{
+    return n_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+double
+RunningStat::stddev() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    SP_ASSERT(p >= 0.0 && p <= 100.0);
+    std::sort(samples_.begin(), samples_.end());
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+    if (rank > 0)
+        --rank;
+    rank = std::min(rank, samples_.size() - 1);
+    return samples_[rank];
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+           static_cast<double>(samples_.size());
+}
+
+std::string
+formatTable(const std::vector<std::string> &headers,
+            const std::vector<std::vector<std::string>> &rows)
+{
+    const size_t cols = headers.size();
+    std::vector<size_t> width(cols);
+    for (size_t c = 0; c < cols; ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows) {
+        SP_ASSERT(row.size() == cols);
+        for (size_t c = 0; c < cols; ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < cols; ++c) {
+            out << "| " << row[c]
+                << std::string(width[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+    auto emitRule = [&] {
+        for (size_t c = 0; c < cols; ++c)
+            out << "+" << std::string(width[c] + 2, '-');
+        out << "+\n";
+    };
+
+    emitRule();
+    emitRow(headers);
+    emitRule();
+    for (const auto &row : rows)
+        emitRow(row);
+    emitRule();
+    return out.str();
+}
+
+}  // namespace sp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by benchmarks and the
+ * evaluation harness: running mean/min/max/stddev and percentile
+ * estimation from retained samples.
+ */
+#ifndef SP_UTIL_STATS_H
+#define SP_UTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sp {
+
+/** Running scalar statistics (Welford online mean/variance). */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    size_t count() const { return n_; }
+
+    /** Mean of observations (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Smallest observation (+inf when empty). */
+    double min() const;
+
+    /** Largest observation (-inf when empty). */
+    double max() const;
+
+    /** Sample standard deviation (0 when fewer than two samples). */
+    double stddev() const;
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Sample-retaining distribution for percentile queries. */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void add(double x) { samples_.push_back(x); }
+
+    /** Number of recorded samples. */
+    size_t count() const { return samples_.size(); }
+
+    /**
+     * Percentile in [0, 100] by nearest-rank on the sorted samples.
+     * Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const;
+
+  private:
+    mutable std::vector<double> samples_;
+};
+
+/**
+ * Format a fixed-width text table (used by the benchmark harnesses to
+ * print paper-style tables). Rows must all have `headers.size()` cells.
+ */
+std::string formatTable(const std::vector<std::string> &headers,
+                        const std::vector<std::vector<std::string>> &rows);
+
+}  // namespace sp
+
+#endif  // SP_UTIL_STATS_H

@@ -1,0 +1,242 @@
+// Tests for the fuzzing loop, corpus discipline and crash handling.
+
+#include <gtest/gtest.h>
+
+#include "core/snowplow.h"
+#include "fuzz/fuzzer.h"
+#include "kernel/subsystems.h"
+#include "prog/gen.h"
+
+namespace sp::fuzz {
+namespace {
+
+const kern::Kernel &
+testKernel()
+{
+    static kern::Kernel kernel = [] {
+        kern::KernelGenParams params;
+        params.seed = 6;
+        return kern::buildBaseKernel(params);
+    }();
+    return kernel;
+}
+
+TEST(Corpus, AdmitsOnlyNewEdgeCoverage)
+{
+    const auto &kernel = testKernel();
+    exec::Executor executor(kernel);
+    Rng rng(1);
+    Corpus corpus;
+
+    auto programs = prog::generateCorpus(rng, kernel.table(), 20);
+    auto first = executor.run(programs[0]);
+    EXPECT_TRUE(corpus.maybeAdd(programs[0], first, 1));
+    // Re-adding the identical program: no new edges.
+    EXPECT_FALSE(corpus.maybeAdd(programs[0], first, 2));
+    EXPECT_EQ(corpus.size(), 1u);
+    // Coverage total reflects all merges regardless of admission.
+    EXPECT_EQ(corpus.totalCoverage().edgeCount(),
+              first.coverage.edgeCount());
+}
+
+TEST(Corpus, PickCoversWholeCorpus)
+{
+    const auto &kernel = testKernel();
+    exec::Executor executor(kernel);
+    Rng rng(2);
+    Corpus corpus;
+    auto programs = prog::generateCorpus(rng, kernel.table(), 30);
+    uint64_t counter = 0;
+    for (const auto &program : programs)
+        corpus.maybeAdd(program, executor.run(program), ++counter);
+    ASSERT_GE(corpus.size(), 5u);
+
+    std::unordered_set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(corpus.pick(rng).content_hash);
+    EXPECT_GT(seen.size(), corpus.size() / 2);
+}
+
+TEST(CrashLog, DedupsByBugSite)
+{
+    const auto &kernel = testKernel();
+    CrashLog log(kernel);
+    prog::Prog dummy;
+    log.record(0, dummy, 10);
+    log.record(0, dummy, 20);
+    log.record(1, dummy, 30);
+    EXPECT_EQ(log.uniqueCrashes(), 2u);
+    EXPECT_EQ(log.records()[0].hit_count, 2u);
+    EXPECT_EQ(log.records()[0].first_seen_exec, 10u);
+}
+
+TEST(CrashLog, TalliesKnownVersusNew)
+{
+    const auto &kernel = testKernel();
+    // Find one known and one new bug index.
+    int known_index = -1, new_index = -1;
+    for (size_t i = 0; i < kernel.bugs().size(); ++i) {
+        if (kernel.bugs()[i].known && known_index < 0)
+            known_index = static_cast<int>(i);
+        if (!kernel.bugs()[i].known && new_index < 0)
+            new_index = static_cast<int>(i);
+    }
+    ASSERT_GE(known_index, 0);
+    ASSERT_GE(new_index, 0);
+
+    CrashLog log(kernel);
+    prog::Prog dummy;
+    log.record(static_cast<uint32_t>(known_index), dummy, 1);
+    log.record(static_cast<uint32_t>(new_index), dummy, 2);
+    EXPECT_EQ(log.knownCrashes(), 1u);
+    EXPECT_EQ(log.newCrashes(), 1u);
+}
+
+TEST(CrashLog, ReproducesDeterministicCrashAndMinimizes)
+{
+    const auto &kernel = testKernel();
+    const auto *open_scsi = kernel.table().find("open$scsi");
+    const auto *ioctl = kernel.table().find("ioctl$scsi");
+    const auto *noise = kernel.table().find("socket");
+
+    prog::Prog trigger;
+    // Unrelated preamble that minimization should strip.
+    prog::Call noise_call;
+    noise_call.decl = noise;
+    noise_call.args = prog::defaultArgs(*noise);
+    prog::fixupLengths(noise_call);
+    trigger.calls.push_back(std::move(noise_call));
+
+    prog::Call open_call;
+    open_call.decl = open_scsi;
+    open_call.args = prog::defaultArgs(*open_scsi);
+    prog::fixupLengths(open_call);
+    trigger.calls.push_back(std::move(open_call));
+
+    prog::Call ioctl_call;
+    ioctl_call.decl = ioctl;
+    ioctl_call.args = prog::defaultArgs(*ioctl);
+    ioctl_call.args[0]->result_ref = 1;
+    ioctl_call.args[1]->scalar = kern::kScsiIoctlSendCommand;
+    auto &req = *ioctl_call.args[2]->pointee;
+    req.fields[0]->scalar = kern::kScsiProtoAta16;
+    req.fields[1]->scalar = kern::kAtaCmdNop;
+    req.fields[2]->scalar = kern::kAtaProtPio;
+    req.fields[3]->scalar = kern::kAtaMaxDataLen + 1;
+    prog::fixupLengths(ioctl_call);
+    trigger.calls.push_back(std::move(ioctl_call));
+
+    // Confirm it crashes, find the bug index.
+    exec::Executor executor(kernel);
+    auto result = executor.run(trigger);
+    ASSERT_TRUE(result.crashed);
+
+    CrashLog log(kernel);
+    log.record(result.bug_index, trigger, 42);
+    log.reproduceAll();
+    const auto &record = log.records()[0];
+    EXPECT_TRUE(record.reproduced);
+    // Minimization strips the socket preamble: 2 calls suffice.
+    EXPECT_EQ(record.reproducer.calls.size(), 2u);
+    EXPECT_EQ(record.reproducer.calls[1].decl->name, "ioctl$scsi");
+}
+
+TEST(Fuzzer, MakesProgressWithinBudget)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 3000;
+    opts.seed_corpus_size = 20;
+    opts.seed = 9;
+    opts.checkpoint_every = 500;
+    auto fuzzer = core::makeSyzkallerFuzzer(kernel, opts);
+    auto report = fuzzer->run();
+
+    EXPECT_EQ(report.execs, opts.exec_budget);
+    EXPECT_GT(report.final_edges, 100u);
+    EXPECT_GE(report.corpus_size, 10u);
+    ASSERT_GE(report.timeline.size(), 2u);
+    // Coverage is monotone along the timeline.
+    for (size_t i = 1; i < report.timeline.size(); ++i) {
+        EXPECT_GE(report.timeline[i].edges,
+                  report.timeline[i - 1].edges);
+    }
+    // Coverage keeps growing after the seed phase.
+    EXPECT_GT(report.final_edges, report.timeline.front().edges);
+}
+
+TEST(Fuzzer, DeterministicGivenSeed)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 1500;
+    opts.seed_corpus_size = 15;
+    opts.seed = 33;
+    auto a = core::makeSyzkallerFuzzer(kernel, opts)->run();
+    auto b = core::makeSyzkallerFuzzer(kernel, opts)->run();
+    EXPECT_EQ(a.final_edges, b.final_edges);
+    EXPECT_EQ(a.corpus_size, b.corpus_size);
+}
+
+TEST(Fuzzer, DifferentSeedsExploreDifferently)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 1500;
+    opts.seed_corpus_size = 15;
+    opts.seed = 1;
+    auto a = core::makeSyzkallerFuzzer(kernel, opts)->run();
+    opts.seed = 2;
+    auto b = core::makeSyzkallerFuzzer(kernel, opts)->run();
+    EXPECT_NE(a.final_edges, b.final_edges);
+}
+
+TEST(Fuzzer, RunUntilStopsEarly)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 100000;
+    opts.seed_corpus_size = 10;
+    opts.seed = 3;
+    Fuzzer fuzzer(kernel, opts,
+                  std::make_unique<mut::RandomLocalizer>());
+    auto report = fuzzer.runUntil(
+        [](const Fuzzer &f) { return f.execs() >= 700; });
+    EXPECT_LT(report.execs, 2000u);
+    EXPECT_GE(report.execs, 700u);
+}
+
+TEST(Fuzzer, FindsShallowCrashes)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 8000;
+    opts.seed_corpus_size = 30;
+    opts.seed = 12;
+    Fuzzer fuzzer(kernel, opts,
+                  std::make_unique<mut::RandomLocalizer>());
+    fuzzer.run();
+    EXPECT_GT(fuzzer.crashes().uniqueCrashes(), 0u);
+}
+
+TEST(Fuzzer, ChooseTestHookIsHonored)
+{
+    const auto &kernel = testKernel();
+    FuzzOptions opts;
+    opts.exec_budget = 1200;
+    opts.seed_corpus_size = 10;
+    opts.seed = 5;
+    size_t hook_calls = 0;
+    opts.choose_test = [&hook_calls](const Corpus &corpus,
+                                     Rng &rng) -> const CorpusEntry & {
+        ++hook_calls;
+        return corpus.entry(rng.below(corpus.size()));
+    };
+    Fuzzer fuzzer(kernel, opts,
+                  std::make_unique<mut::RandomLocalizer>());
+    fuzzer.run();
+    EXPECT_GT(hook_calls, 10u);
+}
+
+}  // namespace
+}  // namespace sp::fuzz

@@ -1,0 +1,192 @@
+// Tests for nn modules and optimizers: parameter registration, shapes,
+// checkpoint round-trip, and end-to-end training sanity (a small MLP
+// learns a nonlinear function; Adam reduces loss monotonically enough).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace sp::nn {
+namespace {
+
+TEST(Linear, ShapesAndParameterCount)
+{
+    Rng rng(1);
+    Linear layer(rng, 4, 3, "lin");
+    EXPECT_EQ(layer.parameters().size(), 2u);
+    EXPECT_EQ(layer.parameterCount(), 4 * 3 + 3);
+
+    Tensor x = Tensor::zeros(5, 4);
+    Tensor y = layer.forward(x);
+    EXPECT_EQ(y.rows(), 5);
+    EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(Linear, ZeroInputYieldsBias)
+{
+    Rng rng(2);
+    Linear layer(rng, 2, 2, "lin");
+    Tensor x = Tensor::zeros(1, 2);
+    Tensor y = layer.forward(x);
+    // Bias init is zero, so output must be zero.
+    EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 0.0f);
+}
+
+TEST(Embedding, LookupMatchesTableRows)
+{
+    Rng rng(3);
+    Embedding emb(rng, 10, 4, "emb");
+    Tensor out = emb.forward({7, 7, 2});
+    EXPECT_EQ(out.rows(), 3);
+    EXPECT_EQ(out.cols(), 4);
+    for (int64_t j = 0; j < 4; ++j)
+        EXPECT_FLOAT_EQ(out.at(0, j), out.at(1, j));
+}
+
+TEST(Mlp, ForwardShape)
+{
+    Rng rng(4);
+    Mlp mlp(rng, {8, 16, 2}, "mlp");
+    EXPECT_EQ(mlp.parameters().size(), 4u);
+    Tensor x = Tensor::zeros(3, 8);
+    Tensor y = mlp.forward(x);
+    EXPECT_EQ(y.rows(), 3);
+    EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(Module, ZeroGradClearsAccumulation)
+{
+    Rng rng(5);
+    Linear layer(rng, 2, 1, "lin");
+    Tensor x = Tensor::fromMatrix({1, 2}, 1, 2);
+    Tensor loss = sumAll(layer.forward(x));
+    loss.backward();
+    bool any_nonzero = false;
+    for (const auto &p : layer.parameters())
+        for (float g : p.tensor.grad())
+            any_nonzero |= (g != 0.0f);
+    EXPECT_TRUE(any_nonzero);
+
+    layer.zeroGrad();
+    for (const auto &p : layer.parameters())
+        for (float g : p.tensor.grad())
+            EXPECT_EQ(g, 0.0f);
+}
+
+// The canonical learning sanity check: regress y = sin-ish nonlinear
+// function; Adam must cut the loss by a large factor.
+TEST(Training, MlpLearnsNonlinearFunction)
+{
+    Rng rng(6);
+    Mlp mlp(rng, {1, 16, 16, 1}, "mlp");
+    Adam opt(mlp.parameters(), 0.01f);
+
+    const int n = 64;
+    std::vector<float> xs(n), ys(n);
+    for (int i = 0; i < n; ++i) {
+        xs[i] = static_cast<float>(i) / n * 4.0f - 2.0f;
+        ys[i] = std::sin(2.0f * xs[i]) + 0.5f * xs[i];
+    }
+    Tensor x = Tensor::fromMatrix(xs, n, 1);
+
+    auto compute_loss = [&] {
+        Tensor pred = mlp.forward(x);
+        Tensor target = Tensor::fromMatrix(ys, n, 1);
+        Tensor diff = sub(pred, target);
+        return meanAll(mul(diff, diff));
+    };
+
+    float initial = compute_loss().item();
+    for (int step = 0; step < 400; ++step) {
+        mlp.zeroGrad();
+        Tensor loss = compute_loss();
+        loss.backward();
+        opt.step();
+    }
+    float final_loss = compute_loss().item();
+    EXPECT_LT(final_loss, initial * 0.05f);
+    EXPECT_LT(final_loss, 0.05f);
+}
+
+TEST(Training, SgdReducesLoss)
+{
+    Rng rng(7);
+    Linear layer(rng, 2, 1, "lin");
+    Sgd opt(layer.parameters(), 0.05f);
+
+    Tensor x = Tensor::fromMatrix({1, 0, 0, 1, 1, 1, 2, -1}, 4, 2);
+    std::vector<float> target = {1.0f, -1.0f, 0.0f, 3.0f};  // y = x0 - x1
+
+    auto compute_loss = [&] {
+        Tensor pred = layer.forward(x);
+        Tensor t = Tensor::fromMatrix(target, 4, 1);
+        Tensor diff = sub(pred, t);
+        return meanAll(mul(diff, diff));
+    };
+
+    float initial = compute_loss().item();
+    for (int step = 0; step < 200; ++step) {
+        layer.zeroGrad();
+        compute_loss().backward();
+        opt.step();
+    }
+    EXPECT_LT(compute_loss().item(), initial * 0.01f + 1e-4f);
+}
+
+TEST(Training, AdamClipGradNorm)
+{
+    Rng rng(8);
+    Linear layer(rng, 4, 4, "lin");
+    Adam opt(layer.parameters(), 0.001f);
+
+    Tensor x = Tensor::fromMatrix(std::vector<float>(4 * 4, 100.0f), 4, 4);
+    layer.zeroGrad();
+    sumAll(layer.forward(x)).backward();
+    float norm = opt.clipGradNorm(1.0f);
+    EXPECT_GT(norm, 1.0f);
+
+    double clipped = 0.0;
+    for (const auto &p : layer.parameters())
+        for (float g : p.tensor.grad())
+            clipped += static_cast<double>(g) * g;
+    EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-3);
+}
+
+TEST(Serialize, RoundTripRestoresParameters)
+{
+    const std::string path = "/tmp/sp_nn_ckpt_test.bin";
+    Rng rng(9);
+    Mlp original(rng, {3, 8, 2}, "mlp");
+    saveParameters(original, path);
+
+    Rng rng2(999);  // different init
+    Mlp restored(rng2, {3, 8, 2}, "mlp");
+    ASSERT_TRUE(loadParameters(restored, path));
+
+    for (size_t i = 0; i < original.parameters().size(); ++i) {
+        const auto &a = original.parameters()[i].tensor.data();
+        const auto &b = restored.parameters()[i].tensor.data();
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t j = 0; j < a.size(); ++j)
+            EXPECT_FLOAT_EQ(a[j], b[j]);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse)
+{
+    Rng rng(10);
+    Mlp mlp(rng, {2, 2}, "mlp");
+    EXPECT_FALSE(loadParameters(mlp, "/tmp/sp_nn_no_such_file.bin"));
+}
+
+}  // namespace
+}  // namespace sp::nn

@@ -1,0 +1,380 @@
+// Unit and property tests for the autograd engine: forward values on
+// known inputs and finite-difference gradient checks for every
+// differentiable op.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace sp::nn {
+namespace {
+
+// Numerically check d(loss)/d(input) against autograd for a scalar-valued
+// function of one tensor built by `make_loss`. The input tensor is rebuilt
+// per evaluation so that each forward pass is independent.
+void
+checkGradient(const std::vector<float> &input_values, int64_t rows,
+              int64_t cols,
+              const std::function<Tensor(const Tensor &)> &make_loss,
+              float tol = 2e-2f, float h = 1e-3f)
+{
+    auto build = [&](const std::vector<float> &values) {
+        if (cols == 0)
+            return Tensor::fromVector(values, /*requires_grad=*/true);
+        return Tensor::fromMatrix(values, rows, cols,
+                                  /*requires_grad=*/true);
+    };
+
+    Tensor x = build(input_values);
+    Tensor loss = make_loss(x);
+    loss.backward();
+    const std::vector<float> analytic = x.grad();
+
+    for (size_t i = 0; i < input_values.size(); ++i) {
+        auto plus = input_values;
+        auto minus = input_values;
+        plus[i] += h;
+        minus[i] -= h;
+        const float f_plus = make_loss(build(plus)).item();
+        const float f_minus = make_loss(build(minus)).item();
+        const float numeric = (f_plus - f_minus) / (2.0f * h);
+        EXPECT_NEAR(analytic[i], numeric,
+                    tol * std::max(1.0f, std::fabs(numeric)))
+            << "element " << i;
+    }
+}
+
+TEST(Tensor, ConstructionAndAccess)
+{
+    Tensor v = Tensor::fromVector({1.0f, 2.0f, 3.0f});
+    EXPECT_EQ(v.rows(), 3);
+    EXPECT_FALSE(v.isMatrix());
+    EXPECT_FLOAT_EQ(v.at(1), 2.0f);
+
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4, 5, 6}, 2, 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    EXPECT_FLOAT_EQ(m.at(1, 2), 6.0f);
+    m.set(1, 2, 9.0f);
+    EXPECT_FLOAT_EQ(m.at(1, 2), 9.0f);
+}
+
+TEST(Tensor, MatmulKnownValues)
+{
+    Tensor a = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2);
+    Tensor b = Tensor::fromMatrix({5, 6, 7, 8}, 2, 2);
+    Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Tensor, MatmulGradient)
+{
+    Tensor b = Tensor::fromMatrix({0.5f, -1.0f, 2.0f, 0.25f, 1.5f, -0.5f},
+                                  3, 2);
+    checkGradient({1, 2, 3, 4, 5, 6}, 2, 3, [&](const Tensor &x) {
+        return sumAll(matmul(x, b));
+    });
+}
+
+TEST(Tensor, MatmulGradientRightOperand)
+{
+    Tensor a = Tensor::fromMatrix({1, -2, 0.5f, 3}, 2, 2);
+    checkGradient({0.1f, 0.2f, 0.3f, 0.4f}, 2, 2, [&](const Tensor &x) {
+        return sumAll(matmul(a, x));
+    });
+}
+
+TEST(Tensor, AddSubMulGradients)
+{
+    Tensor other = Tensor::fromMatrix({2, -1, 0.5f, 3}, 2, 2);
+    checkGradient({1, 2, 3, 4}, 2, 2, [&](const Tensor &x) {
+        return sumAll(mul(add(x, other), sub(x, other)));
+    });
+}
+
+TEST(Tensor, AddRowVecBroadcast)
+{
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2);
+    Tensor b = Tensor::fromVector({10, 20});
+    Tensor out = addRowVec(m, b);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 11.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 24.0f);
+}
+
+TEST(Tensor, AddRowVecGradientThroughBias)
+{
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4, 5, 6}, 3, 2);
+    checkGradient({0.5f, -0.5f}, 2, 0, [&](const Tensor &bias) {
+        return sumAll(relu(addRowVec(m, bias)));
+    });
+}
+
+TEST(Tensor, MulRowVecGradient)
+{
+    Tensor b = Tensor::fromVector({2.0f, -3.0f});
+    checkGradient({1, 2, 3, 4}, 2, 2, [&](const Tensor &x) {
+        return sumAll(mulRowVec(x, b));
+    });
+}
+
+TEST(Tensor, ActivationsForward)
+{
+    Tensor x = Tensor::fromVector({-1.0f, 0.0f, 2.0f});
+    EXPECT_FLOAT_EQ(relu(x).at(0), 0.0f);
+    EXPECT_FLOAT_EQ(relu(x).at(2), 2.0f);
+    EXPECT_NEAR(sigmoid(x).at(1), 0.5f, 1e-6f);
+    EXPECT_NEAR(tanhT(x).at(2), std::tanh(2.0f), 1e-6f);
+}
+
+TEST(Tensor, ActivationGradients)
+{
+    // Avoid the ReLU kink at 0 for finite differences.
+    checkGradient({-1.5f, 0.7f, 2.0f, -0.3f}, 4, 0, [](const Tensor &x) {
+        return sumAll(relu(x));
+    });
+    checkGradient({-1.5f, 0.7f, 2.0f, -0.3f}, 4, 0, [](const Tensor &x) {
+        return sumAll(tanhT(x));
+    });
+    checkGradient({-1.5f, 0.7f, 2.0f, -0.3f}, 4, 0, [](const Tensor &x) {
+        return sumAll(sigmoid(x));
+    });
+}
+
+TEST(Tensor, GatherRowsForward)
+{
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4, 5, 6}, 3, 2);
+    Tensor out = gatherRows(m, {2, 0, 2});
+    EXPECT_EQ(out.rows(), 3);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 1), 2.0f);
+    EXPECT_FLOAT_EQ(out.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, GatherRowsGradientAccumulatesRepeats)
+{
+    checkGradient({1, 2, 3, 4, 5, 6}, 3, 2, [](const Tensor &x) {
+        return sumAll(gatherRows(x, {1, 1, 0}));
+    });
+}
+
+TEST(Tensor, ScatterAddRowsForward)
+{
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4, 5, 6}, 3, 2);
+    Tensor out = scatterAddRows(m, {0, 0, 1}, 2);
+    EXPECT_EQ(out.rows(), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 4.0f);  // 1 + 3
+    EXPECT_FLOAT_EQ(out.at(0, 1), 6.0f);  // 2 + 4
+    EXPECT_FLOAT_EQ(out.at(1, 0), 5.0f);
+}
+
+TEST(Tensor, ScatterAddRowsGradient)
+{
+    checkGradient({1, 2, 3, 4, 5, 6}, 3, 2, [](const Tensor &x) {
+        Tensor pooled = scatterAddRows(x, {1, 0, 1}, 2);
+        return sumAll(mul(pooled, pooled));
+    });
+}
+
+TEST(Tensor, RowScaleGradient)
+{
+    checkGradient({1, 2, 3, 4}, 2, 2, [](const Tensor &x) {
+        return sumAll(rowScale(x, {0.5f, 2.0f}));
+    });
+}
+
+TEST(Tensor, ConcatColsForwardAndGradient)
+{
+    Tensor right = Tensor::fromMatrix({10, 20}, 2, 1);
+    Tensor left = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2);
+    Tensor out = concatCols({left, right});
+    EXPECT_EQ(out.cols(), 3);
+    EXPECT_FLOAT_EQ(out.at(0, 2), 10.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 3.0f);
+
+    checkGradient({1, 2, 3, 4}, 2, 2, [&](const Tensor &x) {
+        Tensor cat = concatCols({x, right});
+        return sumAll(mul(cat, cat));
+    });
+}
+
+TEST(Tensor, ConcatRowsForward)
+{
+    Tensor top = Tensor::fromMatrix({1, 2}, 1, 2);
+    Tensor bottom = Tensor::fromMatrix({3, 4, 5, 6}, 2, 2);
+    Tensor out = concatRows({top, bottom});
+    EXPECT_EQ(out.rows(), 3);
+    EXPECT_FLOAT_EQ(out.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, LayerNormRowsForward)
+{
+    Tensor x = Tensor::fromMatrix({1, 2, 3, 4, 4, 4}, 2, 3);
+    Tensor out = layerNormRows(x);
+    // First row mean 2, var 2/3.
+    EXPECT_NEAR(out.at(0, 0) + out.at(0, 2), 0.0f, 1e-5f);
+    EXPECT_NEAR(out.at(0, 1), 0.0f, 1e-5f);
+    // Constant row normalizes to ~0.
+    EXPECT_NEAR(out.at(1, 0), 0.0f, 1e-2f);
+}
+
+TEST(Tensor, LayerNormRowsGradient)
+{
+    Tensor w = Tensor::fromMatrix({0.3f, -0.7f, 1.1f, 0.9f, -1.3f, 0.2f},
+                                  2, 3);
+    checkGradient({1.0f, -2.0f, 0.5f, 3.0f, 1.5f, -0.5f}, 2, 3,
+                  [&](const Tensor &x) {
+                      return sumAll(mul(layerNormRows(x), w));
+                  });
+}
+
+TEST(Tensor, SoftmaxRowsForward)
+{
+    Tensor x = Tensor::fromMatrix({0, 0, 0, 1000, 0, 0}, 2, 3);
+    Tensor out = softmaxRows(x);
+    EXPECT_NEAR(out.at(0, 0), 1.0f / 3.0f, 1e-5f);
+    EXPECT_NEAR(out.at(1, 0), 1.0f, 1e-5f);  // stable under large logits
+    float row_sum = out.at(1, 0) + out.at(1, 1) + out.at(1, 2);
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5f);
+}
+
+TEST(Tensor, SoftmaxRowsGradient)
+{
+    Tensor pick = Tensor::fromMatrix({1, 0, 0, 0, 2, 0}, 2, 3);
+    checkGradient({0.1f, -0.4f, 0.7f, 1.2f, -0.2f, 0.3f}, 2, 3,
+                  [&](const Tensor &x) {
+                      return sumAll(mul(softmaxRows(x), pick));
+                  });
+}
+
+TEST(Tensor, MeanAndSum)
+{
+    Tensor x = Tensor::fromVector({1, 2, 3, 4});
+    EXPECT_FLOAT_EQ(meanAll(x).item(), 2.5f);
+    EXPECT_FLOAT_EQ(sumAll(x).item(), 10.0f);
+}
+
+TEST(Tensor, BceWithLogitsKnownValue)
+{
+    // logit 0 => loss log(2) regardless of target.
+    Tensor logits = Tensor::fromVector({0.0f, 0.0f});
+    Tensor loss = bceWithLogits(logits, {1.0f, 0.0f}, {1.0f, 1.0f});
+    EXPECT_NEAR(loss.item(), std::log(2.0f), 1e-5f);
+}
+
+TEST(Tensor, BceWithLogitsGradient)
+{
+    checkGradient({0.5f, -1.5f, 2.0f}, 3, 0, [](const Tensor &x) {
+        return bceWithLogits(x, {1.0f, 0.0f, 1.0f}, {1.0f, 2.0f, 0.5f});
+    });
+}
+
+TEST(Tensor, BceWithLogitsWeightsShiftLoss)
+{
+    Tensor logits = Tensor::fromVector({3.0f, 3.0f});
+    // Weighting the wrong prediction more should increase the loss.
+    float balanced =
+        bceWithLogits(logits, {1.0f, 0.0f}, {1.0f, 1.0f}).item();
+    float skewed =
+        bceWithLogits(logits, {1.0f, 0.0f}, {1.0f, 3.0f}).item();
+    EXPECT_GT(skewed, balanced);
+}
+
+TEST(Tensor, DropoutTrainingAndEval)
+{
+    Rng rng(5);
+    Tensor x = Tensor::fromMatrix(std::vector<float>(1000, 1.0f), 100, 10);
+    Tensor eval_out = dropout(x, 0.5f, rng, /*training=*/false);
+    EXPECT_FLOAT_EQ(eval_out.at(0, 0), 1.0f);
+
+    Tensor train_out = dropout(x, 0.5f, rng, /*training=*/true);
+    int zeros = 0;
+    double sum = 0.0;
+    for (float v : train_out.data()) {
+        zeros += (v == 0.0f);
+        sum += v;
+    }
+    EXPECT_GT(zeros, 300);
+    EXPECT_LT(zeros, 700);
+    // Inverted scaling keeps the expectation.
+    EXPECT_NEAR(sum / 1000.0, 1.0, 0.15);
+}
+
+
+TEST(Tensor, RowScaleTForwardAndGradient)
+{
+    Tensor v = Tensor::fromVector({2.0f, -1.0f});
+    checkGradient({1, 2, 3, 4}, 2, 2, [&](const Tensor &x) {
+        return sumAll(rowScaleT(x, v));
+    });
+    // Gradient through the scale vector too.
+    Tensor m = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2);
+    checkGradient({0.5f, 1.5f}, 2, 0, [&](const Tensor &scale) {
+        return sumAll(mul(rowScaleT(m, scale), rowScaleT(m, scale)));
+    });
+}
+
+TEST(Tensor, LeakyReluForwardAndGradient)
+{
+    Tensor x = Tensor::fromVector({-2.0f, 3.0f});
+    Tensor y = leakyRelu(x, 0.1f);
+    EXPECT_FLOAT_EQ(y.at(0), -0.2f);
+    EXPECT_FLOAT_EQ(y.at(1), 3.0f);
+    checkGradient({-1.5f, 0.7f, 2.0f}, 3, 0, [](const Tensor &t) {
+        return sumAll(leakyRelu(t, 0.2f));
+    });
+}
+
+TEST(Tensor, SegmentSoftmaxNormalizesPerSegment)
+{
+    Tensor scores = Tensor::fromVector({0.0f, 0.0f, 1.0f, 2.0f, 3.0f});
+    Tensor out = segmentSoftmax(scores, {0, 0, 1, 1, 1}, 2);
+    EXPECT_NEAR(out.at(0) + out.at(1), 1.0f, 1e-5f);
+    EXPECT_NEAR(out.at(2) + out.at(3) + out.at(4), 1.0f, 1e-5f);
+    EXPECT_FLOAT_EQ(out.at(0), out.at(1));
+    EXPECT_GT(out.at(4), out.at(3));
+}
+
+TEST(Tensor, SegmentSoftmaxGradient)
+{
+    Tensor pick = Tensor::fromVector({1.0f, 0.0f, 0.0f, 2.0f, 0.0f});
+    checkGradient({0.3f, -0.8f, 1.2f, 0.1f, -0.4f}, 5, 0,
+                  [&](const Tensor &x) {
+                      Tensor alpha =
+                          segmentSoftmax(x, {0, 0, 1, 1, 1}, 2);
+                      return sumAll(mul(alpha, pick));
+                  });
+}
+
+TEST(Tensor, BackwardThroughSharedSubexpression)
+{
+    // y = x used twice: gradient must accumulate from both paths.
+    Tensor x = Tensor::fromVector({2.0f}, /*requires_grad=*/true);
+    Tensor y = mul(x, x);  // x^2, dy/dx = 2x = 4
+    Tensor loss = sumAll(y);
+    loss.backward();
+    EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5f);
+}
+
+TEST(Tensor, ChainedGraphGradient)
+{
+    // Composite expression exercising several ops end to end.
+    Tensor w = Tensor::fromMatrix({0.2f, -0.4f, 0.6f, 0.8f, -0.1f, 0.3f},
+                                  3, 2);
+    checkGradient({1.0f, -1.0f, 0.5f, 2.0f, 0.3f, -0.7f}, 2, 3,
+                  [&](const Tensor &x) {
+                      Tensor h = tanhT(matmul(x, w));
+                      Tensor pooled = scatterAddRows(h, {0, 0}, 1);
+                      return meanAll(mul(pooled, pooled));
+                  });
+}
+
+}  // namespace
+}  // namespace sp::nn

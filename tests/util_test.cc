@@ -1,0 +1,239 @@
+// Unit tests for src/util: RNG determinism and distributions, hashing,
+// statistics accumulators and table formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.gaussian());
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+    EXPECT_NEAR(stat.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(29);
+    std::vector<double> w = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.weightedIndex(w)]++;
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBackToUniform)
+{
+    Rng rng(31);
+    std::vector<double> w = {0.0, 0.0};
+    std::set<size_t> seen;
+    for (int i = 0; i < 100; ++i)
+        seen.insert(rng.weightedIndex(w));
+    EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Rng, SampleIndicesDistinctAndComplete)
+{
+    Rng rng(37);
+    auto picks = rng.sampleIndices(10, 4);
+    EXPECT_EQ(picks.size(), 4u);
+    std::set<size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (size_t p : picks)
+        EXPECT_LT(p, 10u);
+
+    auto all = rng.sampleIndices(5, 5);
+    std::set<size_t> everything(all.begin(), all.end());
+    EXPECT_EQ(everything.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(41);
+    Rng child = a.fork();
+    // Child stream should not replay the parent stream.
+    Rng b(41);
+    b.next();  // advance like the fork did
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (child.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Hash, Fnv1aStableKnownValue)
+{
+    // FNV-1a of empty input is the offset basis.
+    EXPECT_EQ(fnv1a(std::string_view("")), 0xcbf29ce484222325ULL);
+    EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+    EXPECT_EQ(fnv1a("snowplow"), fnv1a("snowplow"));
+}
+
+TEST(Hash, CombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hash, U64AvalanchesLowBits)
+{
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seen.insert(hashU64(i));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStat, BasicMoments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Distribution, Percentiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(1), 1.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+}
+
+TEST(Distribution, EmptyPercentileIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.percentile(50), 0.0);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(FormatTable, AlignsColumns)
+{
+    auto text = formatTable({"name", "value"},
+                            {{"alpha", "1"}, {"b", "22222"}});
+    // Headers and both rows present, all lines equal width.
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22222"), std::string::npos);
+    size_t first_nl = text.find('\n');
+    ASSERT_NE(first_nl, std::string::npos);
+    size_t width = first_nl;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t nl = text.find('\n', pos);
+        ASSERT_NE(nl, std::string::npos);
+        EXPECT_EQ(nl - pos, width);
+        pos = nl + 1;
+    }
+}
+
+}  // namespace
+}  // namespace sp
