@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_insertion.dir/ext_insertion.cc.o"
+  "CMakeFiles/ext_insertion.dir/ext_insertion.cc.o.d"
+  "ext_insertion"
+  "ext_insertion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_insertion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

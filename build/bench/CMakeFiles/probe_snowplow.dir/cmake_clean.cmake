@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_snowplow.dir/probe_snowplow.cc.o"
+  "CMakeFiles/probe_snowplow.dir/probe_snowplow.cc.o.d"
+  "probe_snowplow"
+  "probe_snowplow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_snowplow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_dataset.dir/sec51_dataset.cc.o"
+  "CMakeFiles/sec51_dataset.dir/sec51_dataset.cc.o.d"
+  "sec51_dataset"
+  "sec51_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

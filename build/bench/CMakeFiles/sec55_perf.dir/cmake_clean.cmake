@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec55_perf.dir/sec55_perf.cc.o"
+  "CMakeFiles/sec55_perf.dir/sec55_perf.cc.o.d"
+  "sec55_perf"
+  "sec55_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

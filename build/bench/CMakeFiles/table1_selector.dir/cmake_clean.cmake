@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_selector.dir/table1_selector.cc.o"
+  "CMakeFiles/table1_selector.dir/table1_selector.cc.o.d"
+  "table1_selector"
+  "table1_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

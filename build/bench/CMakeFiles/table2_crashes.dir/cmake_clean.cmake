@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_crashes.dir/table2_crashes.cc.o"
+  "CMakeFiles/table2_crashes.dir/table2_crashes.cc.o.d"
+  "table2_crashes"
+  "table2_crashes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_crashes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_categories.dir/table3_categories.cc.o"
+  "CMakeFiles/table3_categories.dir/table3_categories.cc.o.d"
+  "table3_categories"
+  "table3_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_reports.dir/table4_reports.cc.o"
+  "CMakeFiles/table4_reports.dir/table4_reports.cc.o.d"
+  "table4_reports"
+  "table4_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

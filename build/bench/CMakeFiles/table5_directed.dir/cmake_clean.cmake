@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_directed.dir/table5_directed.cc.o"
+  "CMakeFiles/table5_directed.dir/table5_directed.cc.o.d"
+  "table5_directed"
+  "table5_directed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directed_fuzz.dir/directed_fuzz.cpp.o"
+  "CMakeFiles/directed_fuzz.dir/directed_fuzz.cpp.o.d"
+  "directed_fuzz"
+  "directed_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directed_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snowplow_cli.dir/snowplow_cli.cpp.o"
+  "CMakeFiles/snowplow_cli.dir/snowplow_cli.cpp.o.d"
+  "snowplow_cli"
+  "snowplow_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snowplow_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

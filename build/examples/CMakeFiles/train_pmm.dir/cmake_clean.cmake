@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_pmm.dir/train_pmm.cpp.o"
+  "CMakeFiles/train_pmm.dir/train_pmm.cpp.o.d"
+  "train_pmm"
+  "train_pmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_pmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/sp_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/directed.cc" "src/core/CMakeFiles/sp_core.dir/directed.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/directed.cc.o.d"
+  "/root/repo/src/core/infer.cc" "src/core/CMakeFiles/sp_core.dir/infer.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/infer.cc.o.d"
+  "/root/repo/src/core/insertion.cc" "src/core/CMakeFiles/sp_core.dir/insertion.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/insertion.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/sp_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/pmm.cc" "src/core/CMakeFiles/sp_core.dir/pmm.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/pmm.cc.o.d"
+  "/root/repo/src/core/snowplow.cc" "src/core/CMakeFiles/sp_core.dir/snowplow.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/snowplow.cc.o.d"
+  "/root/repo/src/core/train.cc" "src/core/CMakeFiles/sp_core.dir/train.cc.o" "gcc" "src/core/CMakeFiles/sp_core.dir/train.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/sp_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutate/CMakeFiles/sp_mutate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/sp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

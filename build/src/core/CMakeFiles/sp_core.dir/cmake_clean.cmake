@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_core.dir/dataset.cc.o"
+  "CMakeFiles/sp_core.dir/dataset.cc.o.d"
+  "CMakeFiles/sp_core.dir/directed.cc.o"
+  "CMakeFiles/sp_core.dir/directed.cc.o.d"
+  "CMakeFiles/sp_core.dir/infer.cc.o"
+  "CMakeFiles/sp_core.dir/infer.cc.o.d"
+  "CMakeFiles/sp_core.dir/insertion.cc.o"
+  "CMakeFiles/sp_core.dir/insertion.cc.o.d"
+  "CMakeFiles/sp_core.dir/oracle.cc.o"
+  "CMakeFiles/sp_core.dir/oracle.cc.o.d"
+  "CMakeFiles/sp_core.dir/pmm.cc.o"
+  "CMakeFiles/sp_core.dir/pmm.cc.o.d"
+  "CMakeFiles/sp_core.dir/snowplow.cc.o"
+  "CMakeFiles/sp_core.dir/snowplow.cc.o.d"
+  "CMakeFiles/sp_core.dir/train.cc.o"
+  "CMakeFiles/sp_core.dir/train.cc.o.d"
+  "libsp_core.a"
+  "libsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_exec.dir/coverage.cc.o"
+  "CMakeFiles/sp_exec.dir/coverage.cc.o.d"
+  "CMakeFiles/sp_exec.dir/executor.cc.o"
+  "CMakeFiles/sp_exec.dir/executor.cc.o.d"
+  "libsp_exec.a"
+  "libsp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

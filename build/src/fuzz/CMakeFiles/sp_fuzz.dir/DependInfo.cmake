@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/corpus.cc" "src/fuzz/CMakeFiles/sp_fuzz.dir/corpus.cc.o" "gcc" "src/fuzz/CMakeFiles/sp_fuzz.dir/corpus.cc.o.d"
+  "/root/repo/src/fuzz/crash.cc" "src/fuzz/CMakeFiles/sp_fuzz.dir/crash.cc.o" "gcc" "src/fuzz/CMakeFiles/sp_fuzz.dir/crash.cc.o.d"
+  "/root/repo/src/fuzz/fuzzer.cc" "src/fuzz/CMakeFiles/sp_fuzz.dir/fuzzer.cc.o" "gcc" "src/fuzz/CMakeFiles/sp_fuzz.dir/fuzzer.cc.o.d"
+  "/root/repo/src/fuzz/report.cc" "src/fuzz/CMakeFiles/sp_fuzz.dir/report.cc.o" "gcc" "src/fuzz/CMakeFiles/sp_fuzz.dir/report.cc.o.d"
+  "/root/repo/src/fuzz/seedpool.cc" "src/fuzz/CMakeFiles/sp_fuzz.dir/seedpool.cc.o" "gcc" "src/fuzz/CMakeFiles/sp_fuzz.dir/seedpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mutate/CMakeFiles/sp_mutate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/sp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

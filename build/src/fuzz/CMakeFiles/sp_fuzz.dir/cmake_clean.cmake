@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_fuzz.dir/corpus.cc.o"
+  "CMakeFiles/sp_fuzz.dir/corpus.cc.o.d"
+  "CMakeFiles/sp_fuzz.dir/crash.cc.o"
+  "CMakeFiles/sp_fuzz.dir/crash.cc.o.d"
+  "CMakeFiles/sp_fuzz.dir/fuzzer.cc.o"
+  "CMakeFiles/sp_fuzz.dir/fuzzer.cc.o.d"
+  "CMakeFiles/sp_fuzz.dir/report.cc.o"
+  "CMakeFiles/sp_fuzz.dir/report.cc.o.d"
+  "CMakeFiles/sp_fuzz.dir/seedpool.cc.o"
+  "CMakeFiles/sp_fuzz.dir/seedpool.cc.o.d"
+  "libsp_fuzz.a"
+  "libsp_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_graph.dir/encode.cc.o"
+  "CMakeFiles/sp_graph.dir/encode.cc.o.d"
+  "CMakeFiles/sp_graph.dir/query_graph.cc.o"
+  "CMakeFiles/sp_graph.dir/query_graph.cc.o.d"
+  "libsp_graph.a"
+  "libsp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

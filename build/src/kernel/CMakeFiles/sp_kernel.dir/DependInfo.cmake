@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/builder.cc" "src/kernel/CMakeFiles/sp_kernel.dir/builder.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/builder.cc.o.d"
+  "/root/repo/src/kernel/cond.cc" "src/kernel/CMakeFiles/sp_kernel.dir/cond.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/cond.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/sp_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/kernel_gen.cc" "src/kernel/CMakeFiles/sp_kernel.dir/kernel_gen.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/kernel_gen.cc.o.d"
+  "/root/repo/src/kernel/state.cc" "src/kernel/CMakeFiles/sp_kernel.dir/state.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/state.cc.o.d"
+  "/root/repo/src/kernel/subsystems.cc" "src/kernel/CMakeFiles/sp_kernel.dir/subsystems.cc.o" "gcc" "src/kernel/CMakeFiles/sp_kernel.dir/subsystems.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/sp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_kernel.dir/builder.cc.o"
+  "CMakeFiles/sp_kernel.dir/builder.cc.o.d"
+  "CMakeFiles/sp_kernel.dir/cond.cc.o"
+  "CMakeFiles/sp_kernel.dir/cond.cc.o.d"
+  "CMakeFiles/sp_kernel.dir/kernel.cc.o"
+  "CMakeFiles/sp_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/sp_kernel.dir/kernel_gen.cc.o"
+  "CMakeFiles/sp_kernel.dir/kernel_gen.cc.o.d"
+  "CMakeFiles/sp_kernel.dir/state.cc.o"
+  "CMakeFiles/sp_kernel.dir/state.cc.o.d"
+  "CMakeFiles/sp_kernel.dir/subsystems.cc.o"
+  "CMakeFiles/sp_kernel.dir/subsystems.cc.o.d"
+  "libsp_kernel.a"
+  "libsp_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

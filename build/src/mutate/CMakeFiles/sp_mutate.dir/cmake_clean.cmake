@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_mutate.dir/localizer.cc.o"
+  "CMakeFiles/sp_mutate.dir/localizer.cc.o.d"
+  "CMakeFiles/sp_mutate.dir/mutator.cc.o"
+  "CMakeFiles/sp_mutate.dir/mutator.cc.o.d"
+  "libsp_mutate.a"
+  "libsp_mutate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_mutate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

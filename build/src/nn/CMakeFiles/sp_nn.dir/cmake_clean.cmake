@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_nn.dir/module.cc.o"
+  "CMakeFiles/sp_nn.dir/module.cc.o.d"
+  "CMakeFiles/sp_nn.dir/optimizer.cc.o"
+  "CMakeFiles/sp_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/sp_nn.dir/serialize.cc.o"
+  "CMakeFiles/sp_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/sp_nn.dir/tensor.cc.o"
+  "CMakeFiles/sp_nn.dir/tensor.cc.o.d"
+  "libsp_nn.a"
+  "libsp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

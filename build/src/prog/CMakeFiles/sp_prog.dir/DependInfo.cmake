@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/flatten.cc" "src/prog/CMakeFiles/sp_prog.dir/flatten.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/flatten.cc.o.d"
+  "/root/repo/src/prog/gen.cc" "src/prog/CMakeFiles/sp_prog.dir/gen.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/gen.cc.o.d"
+  "/root/repo/src/prog/serialize.cc" "src/prog/CMakeFiles/sp_prog.dir/serialize.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/serialize.cc.o.d"
+  "/root/repo/src/prog/types.cc" "src/prog/CMakeFiles/sp_prog.dir/types.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/types.cc.o.d"
+  "/root/repo/src/prog/validate.cc" "src/prog/CMakeFiles/sp_prog.dir/validate.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/validate.cc.o.d"
+  "/root/repo/src/prog/value.cc" "src/prog/CMakeFiles/sp_prog.dir/value.cc.o" "gcc" "src/prog/CMakeFiles/sp_prog.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sp_prog.dir/flatten.cc.o"
+  "CMakeFiles/sp_prog.dir/flatten.cc.o.d"
+  "CMakeFiles/sp_prog.dir/gen.cc.o"
+  "CMakeFiles/sp_prog.dir/gen.cc.o.d"
+  "CMakeFiles/sp_prog.dir/serialize.cc.o"
+  "CMakeFiles/sp_prog.dir/serialize.cc.o.d"
+  "CMakeFiles/sp_prog.dir/types.cc.o"
+  "CMakeFiles/sp_prog.dir/types.cc.o.d"
+  "CMakeFiles/sp_prog.dir/validate.cc.o"
+  "CMakeFiles/sp_prog.dir/validate.cc.o.d"
+  "CMakeFiles/sp_prog.dir/value.cc.o"
+  "CMakeFiles/sp_prog.dir/value.cc.o.d"
+  "libsp_prog.a"
+  "libsp_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sp_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

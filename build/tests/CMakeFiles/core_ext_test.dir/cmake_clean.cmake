@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ext_test.dir/core_ext_test.cc.o"
+  "CMakeFiles/core_ext_test.dir/core_ext_test.cc.o.d"
+  "core_ext_test"
+  "core_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

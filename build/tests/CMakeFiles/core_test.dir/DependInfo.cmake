@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fuzz/CMakeFiles/sp_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutate/CMakeFiles/sp_mutate.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/sp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/sp_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/sp_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_ext_test.dir/fuzz_ext_test.cc.o"
+  "CMakeFiles/fuzz_ext_test.dir/fuzz_ext_test.cc.o.d"
+  "fuzz_ext_test"
+  "fuzz_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
