@@ -14,11 +14,17 @@
 // times faster and ends meaningfully higher on all three kernels,
 // including the ones it was not trained on.
 
+// Run with an argument — `fig6_coverage out.jsonl` — to additionally
+// stream every (system, seed, checkpoint) point as "fig6_point" JSONL
+// events plus a "fig6_summary" per kernel, so the figure's curves can
+// be regenerated from the telemetry file instead of scraping stdout.
+
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/telemetry.h"
 #include "util/stats.h"
 
 namespace {
@@ -59,8 +65,8 @@ struct Band
 };
 
 Band
-runCampaigns(const sp::kern::Kernel &kernel, bool snowplow,
-             uint64_t budget)
+runCampaigns(const sp::kern::Kernel &kernel, const char *version,
+             bool snowplow, uint64_t budget)
 {
     Band band;
     for (int seed = 0; seed < kSeeds; ++seed) {
@@ -79,6 +85,20 @@ runCampaigns(const sp::kern::Kernel &kernel, bool snowplow,
         }
         for (const auto &cp : report.timeline)
             series.push_back(cp.edges);
+        if (auto *sink = sp::obs::sink()) {
+            for (const auto &cp : report.timeline) {
+                sink->event("fig6_point",
+                            {{"kernel", version},
+                             {"system",
+                              snowplow ? "snowplow" : "syzkaller"},
+                             {"seed", seed},
+                             {"execs", cp.execs},
+                             {"hours", spbench::toHours(cp.execs)},
+                             {"edges", cp.edges},
+                             {"blocks", cp.blocks},
+                             {"crashes", cp.crashes}});
+            }
+        }
         series.resize(band.execs.size(),
                       series.empty() ? 0 : series.back());
         band.edges.push_back(std::move(series));
@@ -92,9 +112,11 @@ runCampaigns(const sp::kern::Kernel &kernel, bool snowplow,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace sp;
+    if (argc > 1)
+        obs::installSink({.path = argv[1]});
     std::printf("=== Figure 6: edge coverage over 24 virtual hours, "
                 "%d seeds ===\n", kSeeds);
     std::printf("(1 virtual hour = %llu executed tests)\n\n",
@@ -108,8 +130,10 @@ main()
                     kernel.blocks().size(),
                     v == 0 ? " [training kernel]" : " [unseen]");
 
-        auto syz = runCampaigns(kernel, false, spbench::kDayInExecs);
-        auto snow = runCampaigns(kernel, true, spbench::kDayInExecs);
+        auto syz = runCampaigns(kernel, versions[v], false,
+                                spbench::kDayInExecs);
+        auto snow = runCampaigns(kernel, versions[v], true,
+                                 spbench::kDayInExecs);
 
         // Series table every 2 virtual hours.
         std::printf("%6s | %27s | %27s\n", "hour",
@@ -161,6 +185,18 @@ main()
         std::printf("  final band width  : syzkaller %.0f, snowplow "
                     "%.0f (paper: snowplow narrower)\n\n",
                     syz_band, snow_band);
+        if (auto *sink = obs::sink()) {
+            sink->event("fig6_summary",
+                        {{"kernel", versions[v]},
+                         {"syz_final_mean_edges", syz_final},
+                         {"snow_final_mean_edges", snow_final},
+                         {"improvement_pct", improvements[v]},
+                         {"parity_hours", parity_hours},
+                         {"speedup", speedup},
+                         {"bands_overlap_after_5h", overlap_after_5h},
+                         {"syz_band_width", syz_band},
+                         {"snow_band_width", snow_band}});
+        }
     }
 
     std::printf("--- Figure 6d: coverage improvement at 24 h ---\n");
@@ -169,5 +205,6 @@ main()
                     versions[v], improvements[v],
                     v == 0 ? 7.0 : (v == 1 ? 8.6 : 7.7));
     }
+    obs::shutdownSink();
     return 0;
 }

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Tier-1 verification + telemetry smoke test.
+#
+# Builds the tree, runs every ctest suite, then drives a short
+# snowplow_cli campaign with --metrics-out and asserts the emitted file
+# is valid JSONL carrying the events and registry snapshot the
+# observability layer promises (see DESIGN.md "Observability").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+baseline=$(mktemp /tmp/sp_ci_baseline.XXXXXX.jsonl)
+snowplow=$(mktemp /tmp/sp_ci_snowplow.XXXXXX.jsonl)
+ckpt=$(mktemp /tmp/sp_ci_pmm.XXXXXX.ckpt)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt"' EXIT
+
+# validate_jsonl FILE REQUIRED_EVENT... — every line parses, every
+# required event type appears, and the registry snapshot carries the
+# headline metrics.
+validate_jsonl() {
+    python3 - "$@" <<'PY'
+import json
+import sys
+
+path, required = sys.argv[1], sys.argv[2:]
+events = {}
+snapshot = None
+with open(path) as f:
+    for lineno, line in enumerate(f, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+        if "ev" not in record or "t_us" not in record:
+            sys.exit(f"{path}:{lineno}: missing ev/t_us")
+        events[record["ev"]] = events.get(record["ev"], 0) + 1
+        if record["ev"] == "registry_snapshot":
+            snapshot = record["registry"]
+
+for ev in required:
+    if ev not in events:
+        sys.exit(f"{path}: missing required event type: {ev}")
+if snapshot is None:
+    sys.exit(f"{path}: no registry snapshot")
+if "campaign_summary" in required:
+    counters = snapshot["counters"]
+    if counters.get("fuzz.execs", 0) < 5000:
+        sys.exit(f"{path}: fuzz.execs too low: "
+                 f"{counters.get('fuzz.execs')}")
+    if snapshot["gauges"].get("fuzz.execs_per_sec", 0) <= 0:
+        sys.exit(f"{path}: fuzz.execs_per_sec not set")
+    if "fuzz.mutant_success.arg" not in snapshot["gauges"]:
+        sys.exit(f"{path}: fuzz.mutant_success.arg not set")
+    if snapshot["histograms"]["exec.run_us"]["count"] < 5000:
+        sys.exit(f"{path}: exec.run_us histogram underpopulated")
+if "inference_latency" in required:
+    latency = snapshot["histograms"].get("infer.latency_us", {})
+    if latency.get("count", 0) <= 0 or "p95" not in latency:
+        sys.exit(f"{path}: infer.latency_us p95 missing")
+print(f"{path}: {sum(events.values())} events "
+      f"({', '.join(f'{k}x{v}' for k, v in sorted(events.items()))})")
+PY
+}
+
+# Stage 1: baseline campaign — coverage/mutation/crash telemetry.
+./build/examples/snowplow_cli fuzz --budget 5000 --seed 1 \
+    --metrics-out "$baseline" > /dev/null
+validate_jsonl "$baseline" \
+    coverage_checkpoint mutation_outcome campaign_summary \
+    registry_snapshot
+
+# Stage 2: train a small PMM, then an async-inference Snowplow
+# campaign — adds train_epoch and inference_latency telemetry.
+./build/examples/snowplow_cli train --corpus 80 --mutations 80 \
+    --epochs 2 --out "$ckpt" > /dev/null 2>&1
+./build/examples/snowplow_cli fuzz --budget 5000 --seed 1 \
+    --pmm "$ckpt" --async 2 --metrics-out "$snowplow" > /dev/null
+validate_jsonl "$snowplow" \
+    coverage_checkpoint mutation_outcome inference_latency \
+    campaign_summary registry_snapshot
+
+echo "tier-1 + telemetry smoke: OK"

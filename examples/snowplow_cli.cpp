@@ -4,10 +4,12 @@
 //       Print the simulated kernel's structure (syscalls, blocks,
 //       edges, bug sites).
 //
-//   snowplow_cli fuzz [--budget N] [--seed N] [--pmm CKPT]
+//   snowplow_cli fuzz [--budget N] [--seed N] [--pmm CKPT] [--async W]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
-//       the coverage timeline and crash summary.
+//       the coverage timeline and crash summary. With --async W the
+//       learned localizer queries an InferenceService worker pool of
+//       W threads instead of predicting inline (§3.4 deployment).
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT]
@@ -19,6 +21,12 @@
 //   snowplow_cli corpus [--count N] [--seed N]
 //       Generate a corpus and print it in the Syzlang-like syntax
 //       (round-trips through the parser as a self-check).
+//
+//   Every command additionally accepts --metrics-out FILE.jsonl: stream
+//   JSONL telemetry events (coverage checkpoints, mutation outcomes,
+//   inference latencies, training epochs, crash dedup decisions) to
+//   FILE and append a final metrics-registry snapshot. See the
+//   "Observability" section of DESIGN.md for the event schema.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +39,7 @@
 #include "core/train.h"
 #include "kernel/subsystems.h"
 #include "nn/serialize.h"
+#include "obs/telemetry.h"
 #include "prog/serialize.h"
 #include "util/logging.h"
 
@@ -114,13 +123,27 @@ cmdFuzz(const Args &args)
     const std::string ckpt = args.get("pmm", "");
     const bool snowplow = !ckpt.empty() &&
                           nn::loadParameters(model, ckpt);
+    const size_t async_workers =
+        snowplow ? static_cast<size_t>(args.getU64("async", 0)) : 0;
     std::printf("%s campaign, budget %llu\n",
-                snowplow ? "Snowplow" : "Syzkaller (baseline)",
+                snowplow ? (async_workers ? "Snowplow (async)"
+                                          : "Snowplow")
+                         : "Syzkaller (baseline)",
                 static_cast<unsigned long long>(opts.exec_budget));
 
-    auto fuzzer = snowplow
-                      ? core::makeSnowplowFuzzer(kernel, model, opts)
-                      : core::makeSyzkallerFuzzer(kernel, opts);
+    // Declared before the fuzzer: the async localizer drains its
+    // outstanding futures on destruction, so it must die first.
+    std::unique_ptr<core::InferenceService> service;
+    std::unique_ptr<fuzz::Fuzzer> fuzzer;
+    if (async_workers > 0) {
+        service = std::make_unique<core::InferenceService>(
+            model, async_workers);
+        fuzzer = core::makeAsyncSnowplowFuzzer(kernel, *service, opts);
+    } else if (snowplow) {
+        fuzzer = core::makeSnowplowFuzzer(kernel, model, opts);
+    } else {
+        fuzzer = core::makeSyzkallerFuzzer(kernel, opts);
+    }
     auto report = fuzzer->run();
     for (const auto &cp : report.timeline) {
         std::printf("  execs %8llu  edges %6zu  blocks %6zu  "
@@ -134,6 +157,17 @@ cmdFuzz(const Args &args)
                 report.final_edges, fuzzer->crashes().uniqueCrashes(),
                 fuzzer->crashes().newCrashes(),
                 fuzzer->crashes().reproducedCrashes());
+    if (service) {
+        // The fuzzer holds the localizer with outstanding futures;
+        // reset it first so every promise is consumed.
+        fuzzer.reset();
+        const auto istats = service->stats();
+        std::printf("inference: %llu completed, latency p50 %.0f us  "
+                    "p95 %.0f us  p99 %.0f us\n",
+                    static_cast<unsigned long long>(istats.completed),
+                    istats.p50_latency_us, istats.p95_latency_us,
+                    istats.p99_latency_us);
+    }
     return 0;
 }
 
@@ -221,17 +255,8 @@ cmdCorpus(const Args &args)
 }  // namespace
 
 int
-main(int argc, char **argv)
+dispatch(const std::string &command, const Args &args)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: snowplow_cli "
-                     "<kernel-stats|fuzz|train|directed|corpus> "
-                     "[--flag value]...\n");
-        return 2;
-    }
-    const Args args(argc, argv);
-    const std::string command = argv[1];
     if (command == "kernel-stats")
         return cmdKernelStats(args);
     if (command == "fuzz")
@@ -244,4 +269,29 @@ main(int argc, char **argv)
         return cmdCorpus(args);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
+}
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: snowplow_cli "
+                     "<kernel-stats|fuzz|train|directed|corpus> "
+                     "[--flag value]... [--metrics-out FILE.jsonl]\n");
+        return 2;
+    }
+    const Args args(argc, argv);
+    const std::string metrics_out = args.get("metrics-out", "");
+    if (!metrics_out.empty())
+        sp::obs::installSink({.path = metrics_out});
+
+    const int rc = dispatch(argv[1], args);
+
+    if (!metrics_out.empty()) {
+        // Appends the final registry snapshot and closes the file.
+        sp::obs::shutdownSink();
+        std::printf("telemetry written to %s\n", metrics_out.c_str());
+    }
+    return rc;
 }

@@ -2,9 +2,37 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace sp::core {
+
+namespace {
+
+/** Registry handles for the inference service (looked up once). */
+struct InferMetrics
+{
+    obs::Counter &submitted;
+    obs::Counter &completed;
+    obs::Gauge &queue_depth;
+    obs::Histogram &latency_us;
+
+    static InferMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static InferMetrics metrics{
+            reg.counter("infer.submitted"),
+            reg.counter("infer.completed"),
+            reg.gauge("infer.queue_depth"),
+            reg.histogram("infer.latency_us"),
+        };
+        return metrics;
+    }
+};
+
+}  // namespace
 
 InferenceService::InferenceService(const Pmm &model, size_t workers)
     : model_(model)
@@ -33,11 +61,16 @@ InferenceService::submit(graph::EncodedGraph graph)
     request.graph = std::move(graph);
     request.enqueued = std::chrono::steady_clock::now();
     auto future = request.promise.get_future();
+    size_t depth;
     {
         std::lock_guard<std::mutex> guard(mutex_);
         SP_ASSERT(!stopping_, "submit after shutdown");
         queue_.push_back(std::move(request));
+        depth = queue_.size();
     }
+    InferMetrics &metrics = InferMetrics::get();
+    metrics.submitted.inc();
+    metrics.queue_depth.set(static_cast<double>(depth));
     cv_.notify_one();
     return future;
 }
@@ -55,6 +88,8 @@ InferenceService::stats() const
     InferenceStats stats;
     stats.completed = completed_;
     stats.mean_latency_us = latency_us_.mean();
+    stats.p50_latency_us = latency_us_.percentile(50);
+    stats.p95_latency_us = latency_us_.percentile(95);
     stats.p99_latency_us = latency_us_.percentile(99);
     return stats;
 }
@@ -64,6 +99,7 @@ InferenceService::workerLoop()
 {
     for (;;) {
         Request request;
+        size_t depth;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
@@ -75,7 +111,10 @@ InferenceService::workerLoop()
             }
             request = std::move(queue_.front());
             queue_.pop_front();
+            depth = queue_.size();
         }
+        InferMetrics &metrics = InferMetrics::get();
+        metrics.queue_depth.set(static_cast<double>(depth));
 
         std::vector<float> probs = model_.predict(request.graph);
         const auto now = std::chrono::steady_clock::now();
@@ -88,6 +127,14 @@ InferenceService::workerLoop()
             std::lock_guard<std::mutex> guard(mutex_);
             ++completed_;
             latency_us_.add(latency);
+        }
+        metrics.completed.inc();
+        if (obs::timingEnabled())
+            metrics.latency_us.record(latency);
+        if (auto *sink = obs::sink()) {
+            sink->event("inference_latency",
+                        {{"latency_us", latency},
+                         {"queue_depth", depth}});
         }
         request.promise.set_value(std::move(probs));
     }

@@ -29,6 +29,8 @@ struct InferenceStats
 {
     uint64_t completed = 0;
     double mean_latency_us = 0.0;
+    double p50_latency_us = 0.0;
+    double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
 };
 

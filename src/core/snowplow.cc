@@ -5,11 +5,47 @@
 
 #include "graph/encode.h"
 #include "graph/query_graph.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sp::core {
 
 namespace {
+
+/** Registry handles for the localizer cache (looked up once). */
+struct LocalizerMetrics
+{
+    obs::Counter &cache_hits;
+    obs::Counter &cache_misses;
+    obs::Gauge &hit_ratio;
+    obs::Counter &async_submitted;
+    obs::Counter &async_ready;
+    obs::Counter &async_pending;
+
+    static LocalizerMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static LocalizerMetrics metrics{
+            reg.counter("snowplow.cache.hit"),
+            reg.counter("snowplow.cache.miss"),
+            reg.gauge("snowplow.cache.hit_ratio"),
+            reg.counter("snowplow.async.submitted"),
+            reg.counter("snowplow.async.ready_hit"),
+            reg.counter("snowplow.async.pending_fallback"),
+        };
+        return metrics;
+    }
+
+    void
+    countLookup(bool hit)
+    {
+        (hit ? cache_hits : cache_misses).inc();
+        const double total = static_cast<double>(cache_hits.value() +
+                                                 cache_misses.value());
+        hit_ratio.set(static_cast<double>(cache_hits.value()) / total);
+    }
+};
 
 /** Rank above-threshold argument sites by probability. */
 std::vector<mut::ArgLocation>
@@ -94,6 +130,7 @@ PmmLocalizer::localizeWithResult(const prog::Prog &prog,
 
     const uint64_t key = prog.hash();
     auto it = cache_.find(key);
+    LocalizerMetrics::get().countLookup(it != cache_.end());
     if (it == cache_.end()) {
         if (cache_.size() >= opts_.cache_capacity)
             cache_.clear();  // simple wholesale eviction
@@ -164,6 +201,7 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
     const uint64_t key = prog.hash();
     if (auto it = ready_.find(key); it != ready_.end()) {
         ++answered_;
+        LocalizerMetrics::get().async_ready.inc();
         auto sites = it->second;
         if (sites.size() > max_sites)
             sites.resize(max_sites);
@@ -189,6 +227,7 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
         }
         // Inference still in flight: let the loop do other mutations.
         ++pending_answers_;
+        LocalizerMetrics::get().async_pending.inc();
         return fallback_.localize(prog, rng, 1);
     }
 
@@ -203,6 +242,7 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
     pending_.emplace(key, std::move(pending));
     ++submitted_;
     ++pending_answers_;
+    LocalizerMetrics::get().async_submitted.inc();
     return fallback_.localize(prog, rng, 1);
 }
 

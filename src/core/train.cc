@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
 #include "util/logging.h"
 
 namespace sp::core {
@@ -127,6 +129,7 @@ trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
     double best_f1 = -1.0;
     int stale_epochs = 0;
     for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+        SP_TIMED("train.epoch_us");
         // Shuffle example order.
         for (size_t i = order.size(); i > 1; --i)
             std::swap(order[i - 1], order[rng.below(i)]);
@@ -155,6 +158,16 @@ trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
             trained == 0 ? 0.0 : loss_total / static_cast<double>(trained);
         record.valid = evaluatePmm(model, dataset, dataset.valid);
         history.epochs.push_back(record);
+        if (auto *sink = obs::sink()) {
+            sink->event("train_epoch",
+                        {{"epoch", epoch},
+                         {"train_loss", record.train_loss},
+                         {"valid_f1", record.valid.f1},
+                         {"valid_precision", record.valid.precision},
+                         {"valid_recall", record.valid.recall},
+                         {"valid_jaccard", record.valid.jaccard},
+                         {"examples", trained}});
+        }
         if (opts.verbose) {
             SP_INFORM("epoch %d: loss %.4f valid F1 %.3f", epoch,
                       record.train_loss, record.valid.f1);

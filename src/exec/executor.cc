@@ -1,5 +1,6 @@
 #include "exec/executor.h"
 
+#include "obs/timer.h"
 #include "prog/flatten.h"
 #include "util/logging.h"
 
@@ -13,6 +14,7 @@ Executor::Executor(const kern::Kernel &kernel, const ExecOptions &opts)
 ExecResult
 Executor::run(const prog::Prog &prog)
 {
+    SP_TIMED("exec.run_us");
     ExecResult result;
     kern::KernelState state = kernel_.initialState();
 
@@ -51,6 +53,16 @@ Executor::run(const prog::Prog &prog)
             result.crash_call = i;
             break;  // the "VM" is dead
         }
+    }
+    if (obs::timingEnabled()) {
+        static obs::Histogram &blocks_hist =
+            obs::Registry::global().histogram("exec.coverage_blocks");
+        static obs::Histogram &edges_hist =
+            obs::Registry::global().histogram("exec.coverage_edges");
+        blocks_hist.record(
+            static_cast<double>(result.coverage.blockCount()));
+        edges_hist.record(
+            static_cast<double>(result.coverage.edgeCount()));
     }
     return result;
 }

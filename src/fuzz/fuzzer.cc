@@ -1,5 +1,9 @@
 #include "fuzz/fuzzer.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "prog/gen.h"
 #include "util/logging.h"
 
@@ -16,6 +20,46 @@ execOptionsFor(const FuzzOptions &opts)
     return exec_opts;
 }
 
+const char *
+laneName(MutationLane lane)
+{
+    switch (lane) {
+      case MutationLane::Seed:
+        return "seed";
+      case MutationLane::Argument:
+        return "arg";
+      case MutationLane::Structural:
+        return "structural";
+    }
+    return "?";
+}
+
+/** Registry handles for the fuzz-loop counters (looked up once). */
+struct FuzzMetrics
+{
+    obs::Counter &execs;
+    obs::Counter &arg_mutants;
+    obs::Counter &arg_admitted;
+    obs::Counter &structural_mutants;
+    obs::Counter &structural_admitted;
+    obs::Counter &seed_programs;
+
+    static FuzzMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static FuzzMetrics metrics{
+            reg.counter("fuzz.execs"),
+            reg.counter("fuzz.mutants.arg"),
+            reg.counter("fuzz.mutants.arg_admitted"),
+            reg.counter("fuzz.mutants.structural"),
+            reg.counter("fuzz.mutants.structural_admitted"),
+            reg.counter("fuzz.seed_programs"),
+        };
+        return metrics;
+    }
+};
+
 }  // namespace
 
 Fuzzer::Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
@@ -30,13 +74,48 @@ Fuzzer::Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
 }
 
 void
-Fuzzer::executeOne(const prog::Prog &program)
+Fuzzer::executeOne(const prog::Prog &program, MutationLane lane,
+                   const mut::ArgLocation *site)
 {
+    const size_t edges_before = corpus_.totalCoverage().edgeCount();
     auto result = executor_.run(program);
     ++execs_;
     if (result.crashed)
         crashes_.record(result.bug_index, program, execs_);
-    corpus_.maybeAdd(program, result, execs_);
+    const bool admitted = corpus_.maybeAdd(program, result, execs_);
+    const size_t new_edges =
+        corpus_.totalCoverage().edgeCount() - edges_before;
+
+    FuzzMetrics &metrics = FuzzMetrics::get();
+    metrics.execs.inc();
+    switch (lane) {
+      case MutationLane::Seed:
+        metrics.seed_programs.inc();
+        break;
+      case MutationLane::Argument:
+        metrics.arg_mutants.inc();
+        if (admitted)
+            metrics.arg_admitted.inc();
+        break;
+      case MutationLane::Structural:
+        metrics.structural_mutants.inc();
+        if (admitted)
+            metrics.structural_admitted.inc();
+        break;
+    }
+    if (auto *sink = obs::sink()) {
+        sink->event(
+            "mutation_outcome",
+            {{"execs", execs_},
+             {"lane", laneName(lane)},
+             {"calls", program.calls.size()},
+             {"admitted", admitted},
+             {"crashed", result.crashed},
+             {"new_edges", new_edges},
+             {"site_call",
+              site ? static_cast<int64_t>(site->call_index)
+                   : int64_t{-1}}});
+    }
     maybeCheckpoint();
 }
 
@@ -51,6 +130,24 @@ Fuzzer::maybeCheckpoint()
     cp.blocks = corpus_.totalCoverage().blockCount();
     cp.crashes = crashes_.uniqueCrashes();
     timeline_.push_back(cp);
+
+    if (obs::timingEnabled()) {
+        static obs::Histogram &delta_hist =
+            obs::Registry::global().histogram(
+                "fuzz.checkpoint.edge_delta");
+        delta_hist.record(
+            static_cast<double>(cp.edges - last_checkpoint_edges_));
+    }
+    if (auto *sink = obs::sink()) {
+        sink->event("coverage_checkpoint",
+                    {{"execs", cp.execs},
+                     {"edges", cp.edges},
+                     {"blocks", cp.blocks},
+                     {"crashes", cp.crashes},
+                     {"edge_delta", cp.edges - last_checkpoint_edges_},
+                     {"corpus_size", corpus_.size()}});
+    }
+    last_checkpoint_edges_ = cp.edges;
 }
 
 void
@@ -60,7 +157,7 @@ Fuzzer::seedCorpus()
                                       opts_.seed_corpus_size,
                                       opts_.mutator.gen);
     for (const auto &seed : seeds)
-        executeOne(seed);
+        executeOne(seed, MutationLane::Seed);
 }
 
 FuzzReport
@@ -72,6 +169,9 @@ Fuzzer::run()
 FuzzReport
 Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
+    const uint64_t execs_start = execs_;
+
     if (corpus_.empty())
         seedCorpus();
 
@@ -106,7 +206,7 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
                 mutant.calls = base_program.calls;
                 if (!mutator_.instantiateArgMutation(mutant, site, rng_))
                     break;
-                executeOne(mutant);
+                executeOne(mutant, MutationLane::Argument, &site);
             }
             if (execs_ >= opts_.exec_budget || stop(*this))
                 break;
@@ -140,7 +240,7 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
                 mutator_.removeCall(mutant, rng_);
                 break;
             }
-            executeOne(mutant);
+            executeOne(mutant, MutationLane::Structural);
         }
     }
 
@@ -150,6 +250,42 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
     report.final_blocks = corpus_.totalCoverage().blockCount();
     report.execs = execs_;
     report.corpus_size = corpus_.size();
+
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const uint64_t campaign_execs = execs_ - execs_start;
+    const double execs_per_sec =
+        wall_sec > 0.0 ? static_cast<double>(campaign_execs) / wall_sec
+                       : 0.0;
+    FuzzMetrics &metrics = FuzzMetrics::get();
+    auto rate = [](const obs::Counter &hit, const obs::Counter &total) {
+        return total.value() == 0
+                   ? 0.0
+                   : static_cast<double>(hit.value()) /
+                         static_cast<double>(total.value());
+    };
+    auto &reg = obs::Registry::global();
+    reg.gauge("fuzz.execs_per_sec").set(execs_per_sec);
+    reg.gauge("fuzz.mutant_success.arg")
+        .set(rate(metrics.arg_admitted, metrics.arg_mutants));
+    reg.gauge("fuzz.mutant_success.structural")
+        .set(rate(metrics.structural_admitted,
+                  metrics.structural_mutants));
+    if (auto *sink = obs::sink()) {
+        sink->event("campaign_summary",
+                    {{"execs", campaign_execs},
+                     {"wall_sec", wall_sec},
+                     {"execs_per_sec", execs_per_sec},
+                     {"final_edges", report.final_edges},
+                     {"final_blocks", report.final_blocks},
+                     {"corpus_size", report.corpus_size},
+                     {"unique_crashes", crashes_.uniqueCrashes()},
+                     {"arg_mutants", metrics.arg_mutants.value()},
+                     {"structural_mutants",
+                      metrics.structural_mutants.value()}});
+    }
     return report;
 }
 

@@ -50,6 +50,13 @@ struct FuzzOptions
     std::function<const CorpusEntry &(const Corpus &, Rng &)> choose_test;
 };
 
+/** Which mutation lane produced a program (telemetry attribution). */
+enum class MutationLane {
+    Seed,        ///< generated seed-corpus program
+    Argument,    ///< localized argument mutation
+    Structural,  ///< selector-driven insert/remove/random-arg lane
+};
+
 /** One coverage checkpoint. */
 struct Checkpoint
 {
@@ -101,8 +108,13 @@ class Fuzzer
     /** @} */
 
   private:
-    /** Execute one program, updating corpus, crashes and timeline. */
-    void executeOne(const prog::Prog &program);
+    /**
+     * Execute one program, updating corpus, crashes, timeline and
+     * telemetry. `site` names the localized argument site for
+     * MutationLane::Argument mutants (event attribution only).
+     */
+    void executeOne(const prog::Prog &program, MutationLane lane,
+                    const mut::ArgLocation *site = nullptr);
 
     /** Seed the corpus with random programs. */
     void seedCorpus();
@@ -119,6 +131,7 @@ class Fuzzer
     Rng rng_;
     uint64_t execs_ = 0;
     std::vector<Checkpoint> timeline_;
+    size_t last_checkpoint_edges_ = 0;  ///< telemetry edge deltas
 };
 
 }  // namespace sp::fuzz

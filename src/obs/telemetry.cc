@@ -1,0 +1,201 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace sp::obs {
+
+namespace {
+
+std::atomic<TelemetrySink *> g_sink{nullptr};
+
+// Owns the installed sink; swapped under a mutex so a replacement
+// cannot race shutdown.
+std::mutex g_sink_mutex;
+std::unique_ptr<TelemetrySink> g_sink_owner;
+
+void
+appendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "0";
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+}
+
+}  // namespace
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+Field::appendTo(std::string &out) const
+{
+    out += jsonQuote(key_);
+    out += ':';
+    switch (kind_) {
+      case Kind::U64:
+        out += std::to_string(u64_);
+        break;
+      case Kind::I64:
+        out += std::to_string(i64_);
+        break;
+      case Kind::F64:
+        appendNumber(out, f64_);
+        break;
+      case Kind::Bool:
+        out += b_ ? "true" : "false";
+        break;
+      case Kind::Str:
+        out += jsonQuote(str_);
+        break;
+    }
+}
+
+TelemetrySink::TelemetrySink(TelemetryOptions opts)
+    : opts_(std::move(opts))
+{
+    file_ = std::fopen(opts_.path.c_str(), "w");
+    if (file_ == nullptr)
+        SP_FATAL("cannot open telemetry file '%s'", opts_.path.c_str());
+}
+
+TelemetrySink::~TelemetrySink()
+{
+    if (file_ != nullptr) {
+        std::fflush(file_);
+        std::fclose(file_);
+    }
+}
+
+void
+TelemetrySink::event(std::string_view type,
+                     std::initializer_list<Field> fields)
+{
+    std::string line;
+    line.reserve(128);
+    line += "{\"ev\":";
+    line += jsonQuote(type);
+    line += ",\"t_us\":";
+    line += std::to_string(monotonicMicros());
+    for (const Field &field : fields) {
+        line += ',';
+        field.appendTo(line);
+    }
+    line += "}\n";
+    writeLine(line);
+}
+
+void
+TelemetrySink::eventJson(std::string_view type, std::string_view key,
+                         std::string_view json)
+{
+    std::string line;
+    line.reserve(json.size() + 64);
+    line += "{\"ev\":";
+    line += jsonQuote(type);
+    line += ",\"t_us\":";
+    line += std::to_string(monotonicMicros());
+    line += ',';
+    line += jsonQuote(key);
+    line += ':';
+    line += json;
+    line += "}\n";
+    writeLine(line);
+}
+
+void
+TelemetrySink::writeLine(std::string &line)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    std::fwrite(line.data(), 1, line.size(), file_);
+    if (++events_ % opts_.flush_every == 0)
+        std::fflush(file_);
+}
+
+void
+TelemetrySink::flush()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    std::fflush(file_);
+}
+
+uint64_t
+TelemetrySink::eventsWritten() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return events_;
+}
+
+TelemetrySink *
+sink()
+{
+    return g_sink.load(std::memory_order_acquire);
+}
+
+void
+installSink(const TelemetryOptions &opts)
+{
+    std::lock_guard<std::mutex> guard(g_sink_mutex);
+    g_sink.store(nullptr, std::memory_order_release);
+    g_sink_owner = std::make_unique<TelemetrySink>(opts);
+    setTimingEnabled(true);
+    g_sink.store(g_sink_owner.get(), std::memory_order_release);
+}
+
+void
+shutdownSink()
+{
+    std::lock_guard<std::mutex> guard(g_sink_mutex);
+    TelemetrySink *current = g_sink.load(std::memory_order_acquire);
+    if (current == nullptr)
+        return;
+    g_sink.store(nullptr, std::memory_order_release);
+    current->eventJson("registry_snapshot", "registry",
+                       Registry::global().snapshotJson());
+    g_sink_owner.reset();
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * JSONL campaign telemetry: a structured event stream written to one
+ * file, so paper figures (time-to-coverage, inference latency, training
+ * curves) are reproducible from machine-readable records instead of
+ * stdout scraping.
+ *
+ * One event per line:
+ *
+ *     {"ev":"coverage_checkpoint","t_us":812345,"execs":5000,...}
+ *
+ * `t_us` is sp::monotonicMicros(), the same time base the logger
+ * prefixes, so log lines and telemetry events interleave meaningfully.
+ * On shutdown the sink appends a final "registry_snapshot" event
+ * embedding Registry::snapshotJson().
+ *
+ * The sink is process-global and optional: instrumentation sites do
+ * `if (auto *sink = obs::sink()) sink->event(...)` — one relaxed
+ * pointer load when telemetry is off. Installing a sink also flips
+ * obs::setTimingEnabled(true) so SP_TIMED histograms populate.
+ */
+#ifndef SP_OBS_TELEMETRY_H
+#define SP_OBS_TELEMETRY_H
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sp::obs {
+
+/** Telemetry configuration (the CLI's --metrics-out). */
+struct TelemetryOptions
+{
+    std::string path;            ///< JSONL output file
+    size_t flush_every = 128;    ///< fflush cadence in events
+};
+
+/** One key/value of an event. Numbers, booleans and strings only. */
+class Field
+{
+  public:
+    Field(std::string_view key, uint64_t v)
+        : key_(key), kind_(Kind::U64), u64_(v) {}
+    Field(std::string_view key, int64_t v)
+        : key_(key), kind_(Kind::I64), i64_(v) {}
+    Field(std::string_view key, int v)
+        : key_(key), kind_(Kind::I64), i64_(v) {}
+    Field(std::string_view key, unsigned v)
+        : key_(key), kind_(Kind::U64), u64_(v) {}
+    Field(std::string_view key, double v)
+        : key_(key), kind_(Kind::F64), f64_(v) {}
+    Field(std::string_view key, bool v)
+        : key_(key), kind_(Kind::Bool), b_(v) {}
+    Field(std::string_view key, std::string_view v)
+        : key_(key), kind_(Kind::Str), str_(v) {}
+    Field(std::string_view key, const char *v)
+        : key_(key), kind_(Kind::Str), str_(v) {}
+
+    /** Append `"key":value` to `out`. */
+    void appendTo(std::string &out) const;
+
+  private:
+    enum class Kind { U64, I64, F64, Bool, Str };
+
+    std::string_view key_;
+    Kind kind_;
+    union
+    {
+        uint64_t u64_;
+        int64_t i64_;
+        double f64_;
+        bool b_;
+    };
+    std::string_view str_;
+};
+
+/** Streams JSONL events to one file. Thread-safe. */
+class TelemetrySink
+{
+  public:
+    /** Opens `opts.path` for writing; SP_FATALs when it cannot. */
+    explicit TelemetrySink(TelemetryOptions opts);
+    ~TelemetrySink();
+
+    TelemetrySink(const TelemetrySink &) = delete;
+    TelemetrySink &operator=(const TelemetrySink &) = delete;
+
+    /** Write one event line `{"ev":type,"t_us":...,fields...}`. */
+    void event(std::string_view type,
+               std::initializer_list<Field> fields);
+
+    /** Write a pre-serialized JSON object under one key:
+     *  `{"ev":type,"t_us":...,"key":<json>}`. */
+    void eventJson(std::string_view type, std::string_view key,
+                   std::string_view json);
+
+    void flush();
+
+    uint64_t eventsWritten() const;
+
+  private:
+    void writeLine(std::string &line);
+
+    TelemetryOptions opts_;
+    std::FILE *file_ = nullptr;
+    mutable std::mutex mu_;
+    uint64_t events_ = 0;
+};
+
+/** The installed process-wide sink, or nullptr when telemetry is off. */
+TelemetrySink *sink();
+
+/**
+ * Install the process-wide sink (replacing any previous one) and enable
+ * timed spans. Campaign code never calls this; drivers (CLI, bench
+ * harnesses) do.
+ */
+void installSink(const TelemetryOptions &opts);
+
+/**
+ * Append the global registry snapshot as a "registry_snapshot" event,
+ * then close and uninstall the sink. No-op when none is installed.
+ * Leaves timing enabled state untouched for any still-running threads.
+ */
+void shutdownSink();
+
+/** JSON string literal (quoted, escaped). */
+std::string jsonQuote(std::string_view s);
+
+}  // namespace sp::obs
+
+#endif  // SP_OBS_TELEMETRY_H

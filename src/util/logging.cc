@@ -1,6 +1,7 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <mutex>
 
@@ -13,17 +14,36 @@ std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 // Serializes log lines so concurrent fuzzer threads do not interleave.
 std::mutex g_log_mutex;
 
+// Each record is formatted into one buffer and emitted with a single
+// fprintf: the async inference workers used to tear lines apart between
+// the "[tag]" prefix and the message body.
 void
 vlogLine(const char *tag, const char *file, int line,
          const char *fmt, va_list args)
 {
+    const uint64_t us = monotonicMicros();
+    char buf[2048];
+    int used;
+    if (file != nullptr) {
+        used = std::snprintf(buf, sizeof(buf),
+                             "[%llu.%06llu] [%s] %s:%d: ",
+                             static_cast<unsigned long long>(us / 1000000),
+                             static_cast<unsigned long long>(us % 1000000),
+                             tag, file, line);
+    } else {
+        used = std::snprintf(buf, sizeof(buf), "[%llu.%06llu] [%s] ",
+                             static_cast<unsigned long long>(us / 1000000),
+                             static_cast<unsigned long long>(us % 1000000),
+                             tag);
+    }
+    if (used < 0)
+        used = 0;
+    if (static_cast<size_t>(used) < sizeof(buf)) {
+        std::vsnprintf(buf + used, sizeof(buf) - static_cast<size_t>(used),
+                       fmt, args);
+    }
     std::lock_guard<std::mutex> guard(g_log_mutex);
-    if (file != nullptr)
-        std::fprintf(stderr, "[%s] %s:%d: ", tag, file, line);
-    else
-        std::fprintf(stderr, "[%s] ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    std::fprintf(stderr, "%s\n", buf);
 }
 
 }  // namespace
@@ -38,6 +58,16 @@ LogLevel
 logLevel()
 {
     return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+uint64_t
+monotonicMicros()
+{
+    static const auto t0 = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
 }
 
 namespace detail {

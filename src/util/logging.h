@@ -31,6 +31,13 @@ void setLogLevel(LogLevel level);
 /** Current global log verbosity. */
 LogLevel logLevel();
 
+/**
+ * Microseconds since process start on the steady clock. Prefixes every
+ * log record and stamps telemetry events, so the two streams share one
+ * time base.
+ */
+uint64_t monotonicMicros();
+
 namespace detail {
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);

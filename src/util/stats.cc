@@ -27,6 +27,27 @@ RunningStat::add(double x)
     m2_ += delta * (x - mean_);
 }
 
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    mean_ += delta * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
 double
 RunningStat::min() const
 {
@@ -47,13 +68,33 @@ RunningStat::stddev() const
     return std::sqrt(m2_ / static_cast<double>(n_ - 1));
 }
 
+void
+Distribution::merge(const Distribution &other)
+{
+    if (other.samples_.empty())
+        return;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+}
+
+void
+Distribution::clear()
+{
+    samples_.clear();
+    sorted_ = true;
+}
+
 double
 Distribution::percentile(double p) const
 {
     if (samples_.empty())
         return 0.0;
     SP_ASSERT(p >= 0.0 && p <= 100.0);
-    std::sort(samples_.begin(), samples_.end());
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
     size_t rank = static_cast<size_t>(
         std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
     if (rank > 0)

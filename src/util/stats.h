@@ -20,6 +20,16 @@ class RunningStat
     /** Fold one observation into the accumulator. */
     void add(double x);
 
+    /**
+     * Fold another accumulator in (parallel Welford combine, Chan et
+     * al.). Equivalent to replaying every observation `other` saw.
+     * Used to merge per-thread metric shards.
+     */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void clear() { *this = RunningStat{}; }
+
     /** Number of observations so far. */
     size_t count() const { return n_; }
 
@@ -52,14 +62,35 @@ class Distribution
 {
   public:
     /** Record one sample. */
-    void add(double x) { samples_.push_back(x); }
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        sorted_ = false;
+    }
+
+    /** Overwrite the sample at `index` (reservoir replacement). */
+    void
+    replace(size_t index, double x)
+    {
+        samples_.at(index) = x;
+        sorted_ = false;
+    }
+
+    /** Append every sample of `other`. */
+    void merge(const Distribution &other);
+
+    /** Drop all samples. */
+    void clear();
 
     /** Number of recorded samples. */
     size_t count() const { return samples_.size(); }
 
     /**
      * Percentile in [0, 100] by nearest-rank on the sorted samples.
-     * Returns 0 when empty.
+     * Returns 0 when empty. The sort is cached across queries and
+     * invalidated by add()/merge(), so repeated p50/p95/p99 reads of a
+     * stable distribution cost one sort total.
      */
     double percentile(double p) const;
 
@@ -68,6 +99,7 @@ class Distribution
 
   private:
     mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
 };
 
 /**

@@ -1,0 +1,260 @@
+// Unit tests for src/obs: counter/gauge/histogram semantics, concurrent
+// increments, snapshotJson round-trip, the SP_TIMED span macro, and the
+// JSONL telemetry sink's event format.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "obs/timer.h"
+
+namespace sp::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, LastWriteWins)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0.0);
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(Histogram, MomentsAndPercentiles)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.stat.count(), 100u);
+    EXPECT_DOUBLE_EQ(snap.stat.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(snap.stat.min(), 1.0);
+    EXPECT_DOUBLE_EQ(snap.stat.max(), 100.0);
+    EXPECT_DOUBLE_EQ(snap.samples.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(snap.samples.percentile(99), 99.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, ReservoirKeepsCountExactPastCap)
+{
+    Histogram h;
+    const size_t n = Histogram::kShardSampleCap + 500;
+    for (size_t i = 0; i < n; ++i)
+        h.record(1.0);
+    // All records land on the calling thread's shard; the retained
+    // sample set is capped but the running moments stay exact.
+    EXPECT_EQ(h.count(), n);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.stat.count(), n);
+    EXPECT_LE(snap.samples.count(), Histogram::kShardSampleCap);
+    EXPECT_DOUBLE_EQ(snap.samples.percentile(50), 1.0);
+}
+
+TEST(Registry, FindOrCreateReturnsStableHandles)
+{
+    Registry reg;
+    Counter &a = reg.counter("x.count");
+    Counter &b = reg.counter("x.count");
+    EXPECT_EQ(&a, &b);
+    a.inc(7);
+    EXPECT_EQ(b.value(), 7u);
+    Gauge &g = reg.gauge("x.gauge");
+    g.set(2.0);
+    EXPECT_EQ(reg.gauge("x.gauge").value(), 2.0);
+    reg.histogram("x.hist").record(1.0);
+    EXPECT_EQ(reg.histogram("x.hist").count(), 1u);
+}
+
+TEST(Registry, ConcurrentIncrementsFromFourThreads)
+{
+    Registry reg;
+    Counter &counter = reg.counter("threads.count");
+    Histogram &hist = reg.histogram("threads.hist");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                counter.inc();
+                hist.record(static_cast<double>(t));
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(hist.count(), static_cast<uint64_t>(kThreads * kPerThread));
+    const auto snap = hist.snapshot();
+    EXPECT_EQ(snap.stat.count(),
+              static_cast<uint64_t>(kThreads * kPerThread));
+    EXPECT_DOUBLE_EQ(snap.stat.min(), 0.0);
+    EXPECT_DOUBLE_EQ(snap.stat.max(), kThreads - 1.0);
+}
+
+TEST(Registry, SnapshotJsonRoundTrip)
+{
+    Registry reg;
+    reg.counter("fuzz.execs").inc(5000);
+    reg.gauge("infer.queue_depth").set(3.0);
+    for (int i = 1; i <= 4; ++i)
+        reg.histogram("exec.run_us").record(static_cast<double>(i));
+
+    const std::string json = reg.snapshotJson();
+    // Structural sanity: balanced braces, one top-level object.
+    int depth = 0, min_depth = 1;
+    for (size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '{')
+            ++depth;
+        if (json[i] == '}')
+            --depth;
+        if (i > 0 && i + 1 < json.size())
+            min_depth = std::min(min_depth, depth);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_GE(min_depth, 1);
+
+    // Every registered metric surfaces with its value.
+    EXPECT_NE(json.find("\"fuzz.execs\":5000"), std::string::npos);
+    EXPECT_NE(json.find("\"infer.queue_depth\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"exec.run_us\":{\"count\":4"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+    EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesEverything)
+{
+    Registry reg;
+    reg.counter("a").inc(3);
+    reg.gauge("b").set(4.0);
+    reg.histogram("c").record(5.0);
+    reg.reset();
+    EXPECT_EQ(reg.counter("a").value(), 0u);
+    EXPECT_EQ(reg.gauge("b").value(), 0.0);
+    EXPECT_EQ(reg.histogram("c").count(), 0u);
+}
+
+TEST(ScopedTimer, RecordsOnlyWhenTimingEnabled)
+{
+    Histogram h;
+    setTimingEnabled(false);
+    {
+        ScopedTimer span(h);
+    }
+    EXPECT_EQ(h.count(), 0u);
+    setTimingEnabled(true);
+    {
+        ScopedTimer span(h);
+    }
+    setTimingEnabled(false);
+    ASSERT_EQ(h.count(), 1u);
+    EXPECT_GE(h.snapshot().stat.min(), 0.0);
+}
+
+TEST(ScopedTimer, SpTimedMacroFeedsGlobalRegistry)
+{
+    Histogram &hist =
+        Registry::global().histogram("obs_test.sp_timed_us");
+    hist.reset();
+    setTimingEnabled(true);
+    {
+        SP_TIMED("obs_test.sp_timed_us");
+    }
+    setTimingEnabled(false);
+    EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(Field, EscapesStringsAndFormatsScalars)
+{
+    std::string out;
+    Field("k\"ey", "va\\l\nue").appendTo(out);
+    EXPECT_EQ(out, "\"k\\\"ey\":\"va\\\\l\\nue\"");
+
+    out.clear();
+    Field("n", uint64_t{18446744073709551615ull}).appendTo(out);
+    EXPECT_EQ(out, "\"n\":18446744073709551615");
+
+    out.clear();
+    Field("b", true).appendTo(out);
+    EXPECT_EQ(out, "\"b\":true");
+
+    out.clear();
+    Field("i", -3).appendTo(out);
+    EXPECT_EQ(out, "\"i\":-3");
+}
+
+TEST(TelemetrySink, WritesOneJsonObjectPerLine)
+{
+    const std::string path = "/tmp/sp_obs_test_events.jsonl";
+    {
+        TelemetrySink sink({.path = path, .flush_every = 1});
+        sink.event("alpha", {{"x", 1}, {"name", "first"}});
+        sink.event("beta", {{"ok", true}, {"rate", 0.5}});
+        EXPECT_EQ(sink.eventsWritten(), 2u);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].find("{\"ev\":\"alpha\",\"t_us\":"), 0u);
+    EXPECT_NE(lines[0].find("\"x\":1"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"name\":\"first\""), std::string::npos);
+    EXPECT_EQ(lines[0].back(), '}');
+    EXPECT_NE(lines[1].find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"rate\":0.5"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TelemetrySink, InstallShutdownAppendsRegistrySnapshot)
+{
+    const std::string path = "/tmp/sp_obs_test_snapshot.jsonl";
+    installSink({.path = path});
+    ASSERT_NE(sink(), nullptr);
+    EXPECT_TRUE(timingEnabled());
+    sink()->event("ping", {{"n", 1}});
+    shutdownSink();
+    setTimingEnabled(false);
+    EXPECT_EQ(sink(), nullptr);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"ev\":\"ping\""), std::string::npos);
+    EXPECT_EQ(lines[1].find("{\"ev\":\"registry_snapshot\""), 0u);
+    EXPECT_NE(lines[1].find("\"registry\":{\"counters\":{"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sp::obs

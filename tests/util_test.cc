@@ -198,6 +198,65 @@ TEST(RunningStat, BasicMoments)
     EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(RunningStat, MergeMatchesSequentialFeed)
+{
+    // Feeding two shards then merging must equal one accumulator that
+    // saw the whole stream (the parallel Welford identity).
+    RunningStat a, b, whole;
+    const std::vector<double> left = {1.0, 2.5, -3.0, 8.0};
+    const std::vector<double> right = {0.5, 12.0, 7.25};
+    for (double v : left) {
+        a.add(v);
+        whole.add(v);
+    }
+    for (double v : right) {
+        b.add(v);
+        whole.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.sum(), whole.sum());
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat filled;
+    filled.add(3.0);
+    filled.add(5.0);
+
+    RunningStat empty;
+    RunningStat target = filled;
+    target.merge(empty);  // no-op
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 4.0);
+
+    RunningStat fresh;
+    fresh.merge(filled);  // adopt
+    EXPECT_EQ(fresh.count(), 2u);
+    EXPECT_DOUBLE_EQ(fresh.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(fresh.min(), 3.0);
+    EXPECT_DOUBLE_EQ(fresh.max(), 5.0);
+
+    RunningStat both;
+    both.merge(RunningStat{});
+    EXPECT_EQ(both.count(), 0u);
+    EXPECT_EQ(both.mean(), 0.0);
+}
+
+TEST(RunningStat, ClearResetsToEmpty)
+{
+    RunningStat s;
+    s.add(9.0);
+    s.clear();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.sum(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+}
+
 TEST(Distribution, Percentiles)
 {
     Distribution d;
@@ -214,6 +273,57 @@ TEST(Distribution, EmptyPercentileIsZero)
     Distribution d;
     EXPECT_EQ(d.percentile(50), 0.0);
     EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, PercentileEdgeCases)
+{
+    Distribution single;
+    single.add(42.0);
+    EXPECT_DOUBLE_EQ(single.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(single.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(single.percentile(100), 42.0);
+
+    Distribution d;
+    for (int i = 10; i >= 1; --i)  // unsorted insertion order
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 10.0);
+}
+
+TEST(Distribution, RepeatedQueriesSeeLaterAdds)
+{
+    // The sort cache must be invalidated by add(): a query, a larger
+    // sample, then the same query must reflect the new maximum.
+    Distribution d;
+    d.add(1.0);
+    d.add(2.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 2.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 2.0);  // cached-sort path
+    d.add(99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 99.0);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+}
+
+TEST(Distribution, MergeAndClear)
+{
+    Distribution a, b;
+    a.add(1.0);
+    a.add(3.0);
+    b.add(2.0);
+    b.add(4.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentile(100), 4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.percentile(50), 0.0);
+
+    // Merging an empty distribution is a no-op.
+    b.merge(Distribution{});
+    EXPECT_EQ(b.count(), 2u);
 }
 
 TEST(FormatTable, AlignsColumns)
