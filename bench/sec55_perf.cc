@@ -12,11 +12,14 @@
 #include <benchmark/benchmark.h>
 
 #include <future>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/infer.h"
 #include "exec/executor.h"
+#include "nn/gemm.h"
 #include "prog/gen.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -51,6 +54,40 @@ fixtures()
     return fx;
 }
 
+// Raw blocked-GEMM kernel at the layer shapes the PMM forward pass
+// actually issues: token projection [n, 120]x[120, 40], a relation /
+// self-loop transform [n, 40]x[40, 40], the two head layers, and an
+// 8-graph micro-batch of relation transforms.
+void
+BM_RawMatmul(benchmark::State &state)
+{
+    const auto n = static_cast<int64_t>(state.range(0));
+    const auto k = static_cast<int64_t>(state.range(1));
+    const auto m = static_cast<int64_t>(state.range(2));
+    Rng rng(17);
+    std::vector<float> a(static_cast<size_t>(n * k));
+    std::vector<float> b(static_cast<size_t>(k * m));
+    std::vector<float> c(static_cast<size_t>(n * m), 0.0f);
+    for (auto &v : a)
+        v = static_cast<float>(rng.gaussian());
+    for (auto &v : b)
+        v = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        nn::gemmAcc(a.data(), b.data(), c.data(), n, k, m);
+        benchmark::DoNotOptimize(c.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            n * k * m);
+}
+BENCHMARK(BM_RawMatmul)
+    ->Args({131, 120, 40})  // token projection
+    ->Args({131, 40, 40})   // relation / self-loop transform
+    ->Args({64, 40, 32})    // head hidden layer
+    ->Args({64, 32, 1})     // head output layer
+    ->Args({1048, 40, 40})  // 8-graph micro-batch relation transform
+    ->Unit(benchmark::kMicrosecond);
+
 void
 BM_PmmInferenceLatency(benchmark::State &state)
 {
@@ -65,13 +102,23 @@ BM_PmmInferenceLatency(benchmark::State &state)
 }
 BENCHMARK(BM_PmmInferenceLatency)->Unit(benchmark::kMillisecond);
 
+// Service saturation: 16 in-flight queries per iteration, swept over
+// worker counts with micro-batching on (max_batch 8) and off
+// (max_batch 1, no straggler window). UseRealTime: throughput is
+// wall-clock — worker threads do the serving, so CPU time of the
+// submitting thread is meaningless.
 void
 BM_InferenceServiceThroughput(benchmark::State &state)
 {
     const auto &model = spbench::sharedPmm();
     const auto &queries = fixtures().queries;
+    core::BatchOptions batch;
+    if (state.range(1) == 0) {
+        batch.max_batch = 1;
+        batch.max_window_us = 0;
+    }
     core::InferenceService service(
-        model, static_cast<size_t>(state.range(0)));
+        model, static_cast<size_t>(state.range(0)), batch);
     for (auto _ : state) {
         std::vector<std::future<std::vector<float>>> futures;
         futures.reserve(16);
@@ -87,11 +134,19 @@ BM_InferenceServiceThroughput(benchmark::State &state)
     const auto stats = service.stats();
     state.counters["mean_latency_ms"] = stats.mean_latency_us / 1000.0;
     state.counters["p99_latency_ms"] = stats.p99_latency_us / 1000.0;
+    state.counters["mean_batch"] = stats.mean_batch_size;
 }
 BENCHMARK(BM_InferenceServiceThroughput)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
+    ->ArgNames({"workers", "batched"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void

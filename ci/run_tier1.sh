@@ -82,4 +82,26 @@ validate_jsonl "$snowplow" \
     coverage_checkpoint mutation_outcome inference_latency \
     campaign_summary registry_snapshot
 
-echo "tier-1 + telemetry smoke: OK"
+# Stage 3: NN hot-path perf smoke — run the GEMM / inference-latency /
+# service-throughput benchmarks briefly (min_time is a bare double;
+# this google-benchmark predates unit suffixes) and keep the JSON
+# report as a build artifact for eyeballing regressions.
+./build/bench/sec55_perf \
+    --benchmark_filter='BM_RawMatmul|BM_PmmInferenceLatency|BM_InferenceServiceThroughput/workers:1' \
+    --benchmark_min_time=0.01 \
+    --benchmark_out=BENCH_sec55.json --benchmark_out_format=json \
+    > /dev/null
+python3 - <<'PY'
+import json
+
+with open("BENCH_sec55.json") as f:
+    report = json.load(f)
+names = [b["name"] for b in report["benchmarks"]]
+for needle in ("BM_RawMatmul", "BM_PmmInferenceLatency",
+               "BM_InferenceServiceThroughput"):
+    if not any(needle in n for n in names):
+        raise SystemExit(f"BENCH_sec55.json: missing {needle} results")
+print(f"BENCH_sec55.json: {len(names)} benchmark results")
+PY
+
+echo "tier-1 + telemetry + perf smoke: OK"

@@ -230,6 +230,16 @@ collectDataset(const kern::Kernel &kernel, const DatasetOptions &opts)
 std::pair<graph::EncodedGraph, std::vector<float>>
 materializeExample(const Dataset &dataset, const RawExample &example)
 {
+    std::pair<graph::EncodedGraph, std::vector<float>> out;
+    materializeExampleInto(dataset, example, out.first, out.second);
+    return out;
+}
+
+void
+materializeExampleInto(const Dataset &dataset, const RawExample &example,
+                       graph::EncodedGraph &graph_out,
+                       std::vector<float> &labels_out)
+{
     SP_ASSERT(dataset.kernel != nullptr);
     SP_ASSERT(example.base_index < dataset.bases.size());
     const auto &base = dataset.bases[example.base_index];
@@ -237,19 +247,18 @@ materializeExample(const Dataset &dataset, const RawExample &example)
 
     auto query = graph::buildQueryGraph(*dataset.kernel, base, result,
                                         example.targets);
-    std::vector<float> labels(query.argument_nodes.size(), 0.0f);
+    labels_out.assign(query.argument_nodes.size(), 0.0f);
     for (size_t i = 0; i < query.argument_locations.size(); ++i) {
         for (const auto &site : example.mutate_sites) {
             if (query.argument_locations[i].call_index ==
                     site.call_index &&
                 query.argument_locations[i].point.path ==
                     site.point.path) {
-                labels[i] = 1.0f;
+                labels_out[i] = 1.0f;
             }
         }
     }
-    return {graph::encodeGraph(*dataset.kernel, query),
-            std::move(labels)};
+    graph::encodeGraphInto(*dataset.kernel, query, graph_out);
 }
 
 double

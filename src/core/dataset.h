@@ -92,6 +92,16 @@ Dataset collectDataset(const kern::Kernel &kernel,
 std::pair<graph::EncodedGraph, std::vector<float>>
 materializeExample(const Dataset &dataset, const RawExample &example);
 
+/**
+ * Same as materializeExample, but encodes into caller-owned buffers
+ * (graph::encodeGraphInto) so evaluation/training sweeps that
+ * materialize thousands of examples reuse one set of allocations.
+ */
+void materializeExampleInto(const Dataset &dataset,
+                            const RawExample &example,
+                            graph::EncodedGraph &graph_out,
+                            std::vector<float> &labels_out);
+
 /** Mean number of ground-truth MUTATE sites over a split. */
 double meanSitesPerExample(const std::vector<RawExample> &split);
 

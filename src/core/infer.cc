@@ -1,8 +1,9 @@
 #include "core/infer.h"
 
+#include <algorithm>
 #include <chrono>
 
-#include "obs/metrics.h"
+#include "nn/inference.h"
 #include "obs/telemetry.h"
 #include "util/logging.h"
 
@@ -16,7 +17,9 @@ struct InferMetrics
     obs::Counter &submitted;
     obs::Counter &completed;
     obs::Gauge &queue_depth;
+    obs::Gauge &arena_hit_ratio;
     obs::Histogram &latency_us;
+    obs::Histogram &batch_size;
 
     static InferMetrics &
     get()
@@ -26,7 +29,9 @@ struct InferMetrics
             reg.counter("infer.submitted"),
             reg.counter("infer.completed"),
             reg.gauge("infer.queue_depth"),
+            reg.gauge("infer.arena_hit_ratio"),
             reg.histogram("infer.latency_us"),
+            reg.histogram("infer.batch_size"),
         };
         return metrics;
     }
@@ -34,10 +39,13 @@ struct InferMetrics
 
 }  // namespace
 
-InferenceService::InferenceService(const Pmm &model, size_t workers)
-    : model_(model)
+InferenceService::InferenceService(const Pmm &model, size_t workers,
+                                   BatchOptions batch)
+    : model_(model), batch_(batch),
+      window_us_(std::max<uint32_t>(1, batch.max_window_us / 4))
 {
     SP_ASSERT(workers >= 1);
+    SP_ASSERT(batch_.max_batch >= 1);
     workers_.reserve(workers);
     for (size_t i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -84,21 +92,29 @@ InferenceService::infer(const graph::EncodedGraph &graph) const
 InferenceStats
 InferenceService::stats() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    const obs::HistogramSnapshot snap = latency_us_.snapshot();
     InferenceStats stats;
-    stats.completed = completed_;
-    stats.mean_latency_us = latency_us_.mean();
-    stats.p50_latency_us = latency_us_.percentile(50);
-    stats.p95_latency_us = latency_us_.percentile(95);
-    stats.p99_latency_us = latency_us_.percentile(99);
+    stats.completed = static_cast<uint64_t>(snap.stat.count());
+    stats.mean_latency_us = snap.stat.mean();
+    stats.p50_latency_us = snap.samples.percentile(50);
+    stats.p95_latency_us = snap.samples.percentile(95);
+    stats.p99_latency_us = snap.samples.percentile(99);
+    stats.batches = batches_.load(std::memory_order_relaxed);
+    stats.mean_batch_size =
+        stats.batches == 0
+            ? 0.0
+            : static_cast<double>(stats.completed) /
+                  static_cast<double>(stats.batches);
     return stats;
 }
 
 void
 InferenceService::workerLoop()
 {
+    std::vector<Request> batch;
+    batch.reserve(batch_.max_batch);
     for (;;) {
-        Request request;
+        batch.clear();
         size_t depth;
         {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -109,34 +125,84 @@ InferenceService::workerLoop()
                     return;
                 continue;
             }
-            request = std::move(queue_.front());
-            queue_.pop_front();
+            auto drain = [this, &batch] {
+                while (!queue_.empty() &&
+                       batch.size() < batch_.max_batch) {
+                    batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+            };
+            drain();
+            const size_t drained = batch.size();
+            // Partial batch: hold the door open for stragglers, but
+            // only for the adaptive window (and never at shutdown).
+            if (!stopping_ && batch.size() < batch_.max_batch &&
+                batch_.max_window_us > 0) {
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(
+                        window_us_.load(std::memory_order_relaxed));
+                while (batch.size() < batch_.max_batch) {
+                    if (!cv_.wait_until(lock, deadline, [this] {
+                            return stopping_ || !queue_.empty();
+                        })) {
+                        break;
+                    }
+                    if (stopping_ && queue_.empty())
+                        break;
+                    drain();
+                }
+                // Adapt: waiting that pays grows the window, waiting
+                // that starves shrinks it.
+                const uint32_t window =
+                    window_us_.load(std::memory_order_relaxed);
+                const uint32_t next =
+                    batch.size() > drained
+                        ? std::min(window * 2, batch_.max_window_us)
+                        : std::max<uint32_t>(window / 2, 1);
+                window_us_.store(next, std::memory_order_relaxed);
+            }
             depth = queue_.size();
         }
         InferMetrics &metrics = InferMetrics::get();
         metrics.queue_depth.set(static_cast<double>(depth));
 
-        std::vector<float> probs = model_.predict(request.graph);
-        const auto now = std::chrono::steady_clock::now();
-        const double latency =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                now - request.enqueued)
-                .count() /
-            1000.0;
-        {
-            std::lock_guard<std::mutex> guard(mutex_);
-            ++completed_;
-            latency_us_.add(latency);
-        }
-        metrics.completed.inc();
+        std::vector<const graph::EncodedGraph *> graphs;
+        graphs.reserve(batch.size());
+        for (const Request &request : batch)
+            graphs.push_back(&request.graph);
+        std::vector<std::vector<float>> probs =
+            batch.size() == 1
+                ? std::vector<std::vector<float>>{model_.predict(
+                      *graphs[0])}
+                : model_.predictBatch(graphs);
+
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        metrics.completed.inc(batch.size());
+        metrics.arena_hit_ratio.set(
+            nn::threadArenaStats().hitRatio());
         if (obs::timingEnabled())
-            metrics.latency_us.record(latency);
-        if (auto *sink = obs::sink()) {
-            sink->event("inference_latency",
-                        {{"latency_us", latency},
-                         {"queue_depth", depth}});
+            metrics.batch_size.record(
+                static_cast<double>(batch.size()));
+
+        const auto now = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const double latency =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - batch[i].enqueued)
+                    .count() /
+                1000.0;
+            latency_us_.record(latency);
+            if (obs::timingEnabled())
+                metrics.latency_us.record(latency);
+            if (auto *sink = obs::sink()) {
+                sink->event("inference_latency",
+                            {{"latency_us", latency},
+                             {"batch_size", batch.size()},
+                             {"queue_depth", depth}});
+            }
+            batch[i].promise.set_value(std::move(probs[i]));
         }
-        request.promise.set_value(std::move(probs));
     }
 }
 

@@ -7,10 +7,20 @@
  * queries and runs PMM forward passes, while the caller (the fuzz loop)
  * continues with other mutation types and collects predictions through
  * futures. Latency and throughput statistics back the §5.5 evaluation.
+ *
+ * Workers micro-batch: each drains up to BatchOptions::max_batch
+ * queued requests — waiting at most an adaptive window for stragglers
+ * — and runs them as one packed forward pass (Pmm::predictBatch), so
+ * the dense layers amortize into batched GEMMs under load while an
+ * idle service still serves singletons at minimum latency. Per-request
+ * futures and latency accounting are unchanged; latencies are recorded
+ * through a sharded histogram so completion never contends on the
+ * queue mutex.
  */
 #ifndef SP_CORE_INFER_H
 #define SP_CORE_INFER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -20,7 +30,7 @@
 #include <vector>
 
 #include "core/pmm.h"
-#include "util/stats.h"
+#include "obs/metrics.h"
 
 namespace sp::core {
 
@@ -32,6 +42,24 @@ struct InferenceStats
     double p50_latency_us = 0.0;
     double p95_latency_us = 0.0;
     double p99_latency_us = 0.0;
+    uint64_t batches = 0;          ///< forward passes run
+    double mean_batch_size = 0.0;  ///< completed / batches
+};
+
+/** Micro-batching knobs. */
+struct BatchOptions
+{
+    /** Requests per forward pass; 1 disables batching entirely. */
+    size_t max_batch = 8;
+    /**
+     * Upper bound (µs) on how long a worker with a partial batch
+     * waits for more arrivals. The effective window adapts inside
+     * [1, max_window_us]: it doubles whenever waiting gained extra
+     * requests and halves whenever a wait produced none, so sparse
+     * traffic degenerates to unbatched dispatch. 0 disables waiting
+     * (drain-only opportunistic batching).
+     */
+    uint32_t max_window_us = 200;
 };
 
 /** Multi-threaded inference front-end over one PMM. */
@@ -43,8 +71,10 @@ class InferenceService
      *                 passes only read the parameters, so the pool can
      *                 share it)
      * @param workers  worker-thread count (the paper's GPU replicas)
+     * @param batch    micro-batching configuration
      */
-    InferenceService(const Pmm &model, size_t workers = 2);
+    InferenceService(const Pmm &model, size_t workers = 2,
+                     BatchOptions batch = {});
 
     /** Drains the queue and joins the workers. */
     ~InferenceService();
@@ -77,15 +107,18 @@ class InferenceService
     void workerLoop();
 
     const Pmm &model_;
+    const BatchOptions batch_;
     mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<Request> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 
-    // Guarded by mutex_.
-    uint64_t completed_ = 0;
-    Distribution latency_us_;
+    /** Adaptive straggler window, µs (see BatchOptions). */
+    std::atomic<uint32_t> window_us_;
+    std::atomic<uint64_t> batches_{0};
+    /** Sharded per-request latency sink; folded only in stats(). */
+    obs::Histogram latency_us_;
 };
 
 }  // namespace sp::core

@@ -1,6 +1,7 @@
 #include "core/pmm.h"
 
 #include "kernel/block.h"
+#include "nn/inference.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -80,11 +81,16 @@ Pmm::embedNodes(const graph::EncodedGraph &graph) const
     h = nn::add(h, target_emb_->forward(graph.target_flag));
 
     // Position-aware token encoder over the block-token window.
+    // Thread-local scratch keeps steady-state forward passes off the
+    // heap (the stale Tensor handles from the previous call are
+    // cleared here, releasing those nodes back to the arena).
     const int64_t window = graph::EncodeVocab::kTokenWindow;
     const auto n = static_cast<int64_t>(graph.node_kind.size());
-    std::vector<Tensor> per_position;
+    thread_local std::vector<Tensor> per_position;
+    thread_local std::vector<int32_t> column;
+    per_position.clear();
     per_position.reserve(static_cast<size_t>(window));
-    std::vector<int32_t> column(static_cast<size_t>(n));
+    column.resize(static_cast<size_t>(n));
     for (int64_t p = 0; p < window; ++p) {
         for (int64_t i = 0; i < n; ++i) {
             column[static_cast<size_t>(i)] =
@@ -113,11 +119,11 @@ Pmm::nodeStates(const graph::EncodedGraph &graph, Rng *dropout_rng,
             const auto &adj = graph.adj[r];
             if (adj.src.empty())
                 continue;
-            Tensor messages = nn::gatherRows(h, adj.src);
             Tensor pooled;
             if (config_.use_attention) {
                 // GAT-style: score each edge from its endpoint states,
                 // softmax over the edges entering each destination.
+                Tensor messages = nn::gatherRows(h, adj.src);
                 Tensor endpoints = nn::concatCols(
                     {messages, nn::gatherRows(h, adj.dst)});
                 Tensor scores = nn::leakyRelu(nn::flatten(
@@ -128,15 +134,11 @@ Pmm::nodeStates(const graph::EncodedGraph &graph, Rng *dropout_rng,
                 pooled = nn::scatterAddRows(
                     nn::rowScaleT(messages, alpha), adj.dst, n);
             } else {
-                // GCN-style mean aggregation (the paper's choice).
-                std::vector<float> inv_degree(static_cast<size_t>(n),
-                                              0.0f);
-                for (int32_t dst : adj.dst)
-                    inv_degree[static_cast<size_t>(dst)] += 1.0f;
-                for (auto &d : inv_degree)
-                    d = d > 0.0f ? 1.0f / d : 0.0f;
-                pooled = nn::scatterAddRows(messages, adj.dst, n);
-                pooled = nn::rowScale(pooled, inv_degree);
+                // GCN-style mean aggregation (the paper's choice),
+                // fused: no per-edge message matrix is materialized,
+                // and rows without incoming edges stay exactly zero so
+                // the relation GEMM skips them.
+                pooled = nn::segmentMeanRows(h, adj.src, adj.dst, n);
             }
             sum = nn::add(sum, layer.relation[r]->forward(pooled));
         }
@@ -169,8 +171,50 @@ Pmm::predict(const graph::EncodedGraph &graph) const
 {
     if (graph.argument_nodes.empty())
         return {};
+    nn::InferenceScope scope;
     nn::Tensor probs = nn::sigmoid(forward(graph));
     return probs.data();
+}
+
+std::vector<std::vector<float>>
+Pmm::predictBatch(
+    const std::vector<const graph::EncodedGraph *> &graphs) const
+{
+    std::vector<std::vector<float>> results(graphs.size());
+    // Graphs without prediction targets contribute nothing; keep only
+    // the ones the forward pass needs (their result stays empty).
+    std::vector<const graph::EncodedGraph *> active;
+    std::vector<size_t> active_index;
+    for (size_t i = 0; i < graphs.size(); ++i) {
+        SP_ASSERT(graphs[i] != nullptr, "predictBatch: null graph");
+        if (graphs[i]->num_nodes > 0 &&
+            !graphs[i]->argument_nodes.empty()) {
+            active.push_back(graphs[i]);
+            active_index.push_back(i);
+        }
+    }
+    if (active.empty())
+        return results;
+    if (active.size() == 1) {
+        results[active_index[0]] = predict(*active[0]);
+        return results;
+    }
+
+    nn::InferenceScope scope;
+    const graph::GraphBatch batch = graph::concatGraphs(active);
+    nn::Tensor probs = nn::sigmoid(forward(batch.merged));
+    const std::vector<float> &flat = probs.data();
+    size_t offset = 0;
+    for (size_t b = 0; b < active.size(); ++b) {
+        const size_t count = batch.argument_counts[b];
+        results[active_index[b]].assign(
+            flat.begin() + static_cast<int64_t>(offset),
+            flat.begin() + static_cast<int64_t>(offset + count));
+        offset += count;
+    }
+    SP_ASSERT(offset == flat.size(),
+              "predictBatch: merged output size mismatch");
+    return results;
 }
 
 }  // namespace sp::core

@@ -155,8 +155,8 @@ PmmLocalizer::rankSites(const prog::Prog &prog,
                                opts_.directed_targets);
     if (query.argument_nodes.empty())
         return {};
-    const auto encoded = graph::encodeGraph(kernel_, query);
-    const auto probs = model_.predict(encoded);
+    graph::encodeGraphInto(kernel_, query, encode_scratch_);
+    const auto probs = model_.predict(encode_scratch_);
     // Cache a little extra headroom beyond the caller's cap.
     return rankFromProbs(probs, query.argument_locations,
                          opts_.threshold, max_sites * 2);

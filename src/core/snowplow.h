@@ -82,6 +82,8 @@ class PmmLocalizer : public mut::Localizer
     exec::Executor probe_;  ///< deterministic executor for cold bases
     /** prog hash -> ranked site list (model output cache). */
     std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> cache_;
+    /** Encode scratch reused across queries (encodeGraphInto). */
+    graph::EncodedGraph encode_scratch_;
     uint64_t model_queries_ = 0;
     uint64_t fallback_queries_ = 0;
 };

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/inference.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 #include "util/logging.h"
@@ -203,8 +205,12 @@ evaluatePmm(const Pmm &model, const Dataset &dataset,
             const std::vector<RawExample> &split, float threshold)
 {
     MetricAccumulator acc;
+    // One encode buffer for the whole sweep; predict() runs in
+    // inference mode, so the sweep is allocation-free at steady state.
+    graph::EncodedGraph graph;
+    std::vector<float> labels;
     for (const auto &example : split) {
-        auto [graph, labels] = materializeExample(dataset, example);
+        materializeExampleInto(dataset, example, graph, labels);
         if (labels.empty())
             continue;
         const auto probs = model.predict(graph);
@@ -224,6 +230,9 @@ evaluatePmm(const Pmm &model, const Dataset &dataset,
         }
         acc.add(predicted, truthMask(labels));
     }
+    obs::Registry::global()
+        .gauge("infer.arena_hit_ratio")
+        .set(nn::threadArenaStats().hitRatio());
     return acc.finish();
 }
 

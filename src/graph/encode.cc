@@ -11,30 +11,38 @@ EncodedGraph
 encodeGraph(const kern::Kernel &kernel, const QueryGraph &graph)
 {
     EncodedGraph enc;
-    enc.num_nodes = static_cast<int32_t>(graph.nodes.size());
-    enc.node_kind.resize(graph.nodes.size());
-    enc.syscall_tok.assign(graph.nodes.size(), 0);
-    enc.arg_type_tok.assign(graph.nodes.size(), 0);
-    enc.arg_slot_tok.assign(graph.nodes.size(), 0);
-    enc.target_flag.assign(graph.nodes.size(), 0);
-    enc.block_tokens.assign(
+    encodeGraphInto(kernel, graph, enc);
+    return enc;
+}
+
+void
+encodeGraphInto(const kern::Kernel &kernel, const QueryGraph &graph,
+                EncodedGraph &out)
+{
+    out.num_nodes = static_cast<int32_t>(graph.nodes.size());
+    out.node_kind.resize(graph.nodes.size());
+    out.syscall_tok.assign(graph.nodes.size(), 0);
+    out.arg_type_tok.assign(graph.nodes.size(), 0);
+    out.arg_slot_tok.assign(graph.nodes.size(), 0);
+    out.target_flag.assign(graph.nodes.size(), 0);
+    out.block_tokens.assign(
         graph.nodes.size() * EncodeVocab::kTokenWindow,
         kern::token::kPad);
 
     for (size_t i = 0; i < graph.nodes.size(); ++i) {
         const Node &node = graph.nodes[i];
-        enc.node_kind[i] = static_cast<int32_t>(node.kind);
+        out.node_kind[i] = static_cast<int32_t>(node.kind);
         switch (node.kind) {
           case NodeKind::Syscall:
-            enc.syscall_tok[i] = static_cast<int32_t>(
+            out.syscall_tok[i] = static_cast<int32_t>(
                 std::min<uint32_t>(node.syscall_id,
                                    EncodeVocab::kSyscallVocab - 1));
             break;
           case NodeKind::Argument:
-            enc.arg_type_tok[i] = static_cast<int32_t>(
+            out.arg_type_tok[i] = static_cast<int32_t>(
                 std::min<uint8_t>(node.arg_type_kind,
                                   EncodeVocab::kArgTypeVocab - 1));
-            enc.arg_slot_tok[i] = static_cast<int32_t>(
+            out.arg_slot_tok[i] = static_cast<int32_t>(
                 std::min<uint16_t>(node.arg_slot,
                                    kern::token::kMaxSlots - 1));
             break;
@@ -44,30 +52,91 @@ encodeGraph(const kern::Kernel &kernel, const QueryGraph &graph)
             const size_t n = std::min<size_t>(
                 tokens.size(), EncodeVocab::kTokenWindow);
             for (size_t t = 0; t < n; ++t) {
-                enc.block_tokens[i * EncodeVocab::kTokenWindow + t] =
+                out.block_tokens[i * EncodeVocab::kTokenWindow + t] =
                     tokens[t];
             }
-            enc.target_flag[i] = node.is_target ? 1 : 0;
+            out.target_flag[i] = node.is_target ? 1 : 0;
             break;
           }
         }
     }
 
+    for (auto &adj : out.adj) {
+        adj.src.clear();
+        adj.dst.clear();
+    }
     for (const Edge &edge : graph.edges) {
         const auto kind = static_cast<size_t>(edge.kind);
-        enc.adj[kind].src.push_back(static_cast<int32_t>(edge.src));
-        enc.adj[kind].dst.push_back(static_cast<int32_t>(edge.dst));
+        out.adj[kind].src.push_back(static_cast<int32_t>(edge.src));
+        out.adj[kind].dst.push_back(static_cast<int32_t>(edge.dst));
         // Reverse relation.
-        enc.adj[kNumEdgeKinds + kind].src.push_back(
+        out.adj[kNumEdgeKinds + kind].src.push_back(
             static_cast<int32_t>(edge.dst));
-        enc.adj[kNumEdgeKinds + kind].dst.push_back(
+        out.adj[kNumEdgeKinds + kind].dst.push_back(
             static_cast<int32_t>(edge.src));
     }
 
-    enc.argument_nodes.reserve(graph.argument_nodes.size());
+    out.argument_nodes.clear();
+    out.argument_nodes.reserve(graph.argument_nodes.size());
     for (uint32_t index : graph.argument_nodes)
-        enc.argument_nodes.push_back(static_cast<int32_t>(index));
-    return enc;
+        out.argument_nodes.push_back(static_cast<int32_t>(index));
+}
+
+namespace {
+
+void
+appendShifted(std::vector<int32_t> &dst, const std::vector<int32_t> &src,
+              int32_t offset)
+{
+    dst.reserve(dst.size() + src.size());
+    for (int32_t v : src)
+        dst.push_back(v + offset);
+}
+
+}  // namespace
+
+GraphBatch
+concatGraphs(const std::vector<const EncodedGraph *> &graphs)
+{
+    SP_ASSERT(!graphs.empty(), "concatGraphs on an empty batch");
+    GraphBatch batch;
+    batch.node_offsets.reserve(graphs.size());
+    batch.argument_counts.reserve(graphs.size());
+
+    EncodedGraph &merged = batch.merged;
+    for (const EncodedGraph *g : graphs) {
+        SP_ASSERT(g != nullptr && g->num_nodes > 0,
+                  "concatGraphs needs non-empty graphs");
+        const int32_t offset = merged.num_nodes;
+        batch.node_offsets.push_back(offset);
+        batch.argument_counts.push_back(g->argument_nodes.size());
+
+        merged.num_nodes += g->num_nodes;
+        merged.node_kind.insert(merged.node_kind.end(),
+                                g->node_kind.begin(),
+                                g->node_kind.end());
+        merged.syscall_tok.insert(merged.syscall_tok.end(),
+                                  g->syscall_tok.begin(),
+                                  g->syscall_tok.end());
+        merged.arg_type_tok.insert(merged.arg_type_tok.end(),
+                                   g->arg_type_tok.begin(),
+                                   g->arg_type_tok.end());
+        merged.arg_slot_tok.insert(merged.arg_slot_tok.end(),
+                                   g->arg_slot_tok.begin(),
+                                   g->arg_slot_tok.end());
+        merged.target_flag.insert(merged.target_flag.end(),
+                                  g->target_flag.begin(),
+                                  g->target_flag.end());
+        merged.block_tokens.insert(merged.block_tokens.end(),
+                                   g->block_tokens.begin(),
+                                   g->block_tokens.end());
+        for (size_t r = 0; r < merged.adj.size(); ++r) {
+            appendShifted(merged.adj[r].src, g->adj[r].src, offset);
+            appendShifted(merged.adj[r].dst, g->adj[r].dst, offset);
+        }
+        appendShifted(merged.argument_nodes, g->argument_nodes, offset);
+    }
+    return batch;
 }
 
 }  // namespace sp::graph

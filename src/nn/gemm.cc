@@ -1,0 +1,261 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace sp::nn {
+
+namespace {
+
+// Panel sizes: a packed B^T panel is at most kColBlock * kRedBlock
+// floats (64 KiB), small enough that it stays cache-resident while
+// every row of A streams past it.
+constexpr int64_t kColBlock = 64;   ///< columns of C per panel
+constexpr int64_t kRedBlock = 256;  ///< reduction elements per panel
+
+// Minimum madds before the row-parallel path is worth a thread spawn.
+constexpr int64_t kParallelWork = int64_t{1} << 21;
+constexpr unsigned kMaxThreads = 4;
+
+// Contiguous dot product with four independent accumulators so the
+// compiler can keep the reduction in SIMD registers without needing
+// -ffast-math reassociation.
+inline float
+dot(const float *x, const float *y, int64_t len)
+{
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    int64_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+        a0 += x[i] * y[i];
+        a1 += x[i + 1] * y[i + 1];
+        a2 += x[i + 2] * y[i + 2];
+        a3 += x[i + 3] * y[i + 3];
+    }
+    float acc = (a0 + a2) + (a1 + a3);
+    for (; i < len; ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+/**
+ * Four dot products against one shared left operand. Each x chunk is
+ * loaded once and multiplied into four accumulators, quartering the
+ * load traffic of four independent dot() calls — the bottleneck of the
+ * single-column kernel on this workload. Lane partitioning and the
+ * final reduction tree match dot() exactly, so the result is
+ * bit-identical to four dot() calls.
+ */
+inline void
+dot4(const float *x, const float *y0, const float *y1, const float *y2,
+     const float *y3, int64_t len, float *out)
+{
+    int64_t i = 0;
+#if defined(__SSE2__)
+    __m128 v0 = _mm_setzero_ps(), v1 = _mm_setzero_ps();
+    __m128 v2 = _mm_setzero_ps(), v3 = _mm_setzero_ps();
+    for (; i + 4 <= len; i += 4) {
+        const __m128 xv = _mm_loadu_ps(x + i);
+        v0 = _mm_add_ps(v0, _mm_mul_ps(xv, _mm_loadu_ps(y0 + i)));
+        v1 = _mm_add_ps(v1, _mm_mul_ps(xv, _mm_loadu_ps(y1 + i)));
+        v2 = _mm_add_ps(v2, _mm_mul_ps(xv, _mm_loadu_ps(y2 + i)));
+        v3 = _mm_add_ps(v3, _mm_mul_ps(xv, _mm_loadu_ps(y3 + i)));
+    }
+    alignas(16) float t[4];
+    _mm_store_ps(t, v0);
+    float r0 = (t[0] + t[2]) + (t[1] + t[3]);
+    _mm_store_ps(t, v1);
+    float r1 = (t[0] + t[2]) + (t[1] + t[3]);
+    _mm_store_ps(t, v2);
+    float r2 = (t[0] + t[2]) + (t[1] + t[3]);
+    _mm_store_ps(t, v3);
+    float r3 = (t[0] + t[2]) + (t[1] + t[3]);
+#else
+    float a00 = 0.0f, a01 = 0.0f, a02 = 0.0f, a03 = 0.0f;
+    float a10 = 0.0f, a11 = 0.0f, a12 = 0.0f, a13 = 0.0f;
+    float a20 = 0.0f, a21 = 0.0f, a22 = 0.0f, a23 = 0.0f;
+    float a30 = 0.0f, a31 = 0.0f, a32 = 0.0f, a33 = 0.0f;
+    for (; i + 4 <= len; i += 4) {
+        const float x0 = x[i], x1 = x[i + 1], x2 = x[i + 2],
+                    x3 = x[i + 3];
+        a00 += x0 * y0[i]; a01 += x1 * y0[i + 1];
+        a02 += x2 * y0[i + 2]; a03 += x3 * y0[i + 3];
+        a10 += x0 * y1[i]; a11 += x1 * y1[i + 1];
+        a12 += x2 * y1[i + 2]; a13 += x3 * y1[i + 3];
+        a20 += x0 * y2[i]; a21 += x1 * y2[i + 1];
+        a22 += x2 * y2[i + 2]; a23 += x3 * y2[i + 3];
+        a30 += x0 * y3[i]; a31 += x1 * y3[i + 1];
+        a32 += x2 * y3[i + 2]; a33 += x3 * y3[i + 3];
+    }
+    float r0 = (a00 + a02) + (a01 + a03);
+    float r1 = (a10 + a12) + (a11 + a13);
+    float r2 = (a20 + a22) + (a21 + a23);
+    float r3 = (a30 + a32) + (a31 + a33);
+#endif
+    for (; i < len; ++i) {
+        const float xv = x[i];
+        r0 += xv * y0[i];
+        r1 += xv * y1[i];
+        r2 += xv * y2[i];
+        r3 += xv * y3[i];
+    }
+    out[0] = r0;
+    out[1] = r1;
+    out[2] = r2;
+    out[3] = r3;
+}
+
+/** True when the row chunk is entirely zero (its C += A·B term is 0). */
+inline bool
+rowIsZero(const float *row, int64_t len)
+{
+    for (int64_t i = 0; i < len; ++i)
+        if (row[i] != 0.0f)
+            return false;
+    return true;
+}
+
+void
+gemmAccRows(const float *a, const float *b, float *c, int64_t n,
+            int64_t k, int64_t m)
+{
+    thread_local std::vector<float> pack;
+    for (int64_t j0 = 0; j0 < m; j0 += kColBlock) {
+        const int64_t jb = std::min(kColBlock, m - j0);
+        for (int64_t k0 = 0; k0 < k; k0 += kRedBlock) {
+            const int64_t kb = std::min(kRedBlock, k - k0);
+            pack.resize(static_cast<size_t>(jb * kb));
+            float *p = pack.data();
+            for (int64_t j = 0; j < jb; ++j)
+                for (int64_t kk = 0; kk < kb; ++kk)
+                    p[j * kb + kk] = b[(k0 + kk) * m + j0 + j];
+            for (int64_t i = 0; i < n; ++i) {
+                const float *arow = a + i * k + k0;
+                // Skip all-zero rows: their contribution is exactly
+                // 0.0, so C is unchanged either way. GNN relation
+                // aggregation produces mostly-zero pooled matrices
+                // (only edge destinations have mass), making this the
+                // dominant saving on the inference hot path.
+                if (rowIsZero(arow, kb))
+                    continue;
+                float *crow = c + i * m + j0;
+                int64_t j = 0;
+                for (; j + 4 <= jb; j += 4) {
+                    const float *pj = p + j * kb;
+                    float r[4];
+                    dot4(arow, pj, pj + kb, pj + 2 * kb, pj + 3 * kb,
+                         kb, r);
+                    crow[j] += r[0];
+                    crow[j + 1] += r[1];
+                    crow[j + 2] += r[2];
+                    crow[j + 3] += r[3];
+                }
+                for (; j < jb; ++j)
+                    crow[j] += dot(arow, p + j * kb, kb);
+            }
+        }
+    }
+}
+
+void
+gemmAccTransBRows(const float *g, const float *b, float *c, int64_t n,
+                  int64_t m, int64_t k)
+{
+    // C[i][j] = sum_l G[i][l] * B[j][l]: both rows contiguous.
+    for (int64_t i = 0; i < n; ++i) {
+        const float *grow = g + i * m;
+        if (rowIsZero(grow, m))
+            continue;
+        float *crow = c + i * k;
+        int64_t j = 0;
+        for (; j + 4 <= k; j += 4) {
+            const float *bj = b + j * m;
+            float r[4];
+            dot4(grow, bj, bj + m, bj + 2 * m, bj + 3 * m, m, r);
+            crow[j] += r[0];
+            crow[j + 1] += r[1];
+            crow[j + 2] += r[2];
+            crow[j + 3] += r[3];
+        }
+        for (; j < k; ++j)
+            crow[j] += dot(grow, b + j * m, m);
+    }
+}
+
+/**
+ * Run fn(row_begin, row_end) over [0, n), split across threads when
+ * `work` (total madds) is large enough; serial otherwise.
+ */
+template <typename Fn>
+void
+forRowSlices(int64_t n, int64_t work, Fn fn)
+{
+    unsigned threads = std::thread::hardware_concurrency();
+    threads = std::min(threads, kMaxThreads);
+    if (work < kParallelWork || threads < 2 || n < 2) {
+        fn(0, n);
+        return;
+    }
+    const int64_t slices = std::min<int64_t>(threads, n);
+    const int64_t per = (n + slices - 1) / slices;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(slices - 1));
+    for (int64_t s = 1; s < slices; ++s) {
+        const int64_t lo = s * per;
+        const int64_t hi = std::min(n, lo + per);
+        if (lo >= hi)
+            break;
+        pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+    }
+    fn(0, std::min(n, per));
+    for (auto &t : pool)
+        t.join();
+}
+
+}  // namespace
+
+void
+gemmAcc(const float *a, const float *b, float *c, int64_t n, int64_t k,
+        int64_t m)
+{
+    forRowSlices(n, n * k * m, [=](int64_t lo, int64_t hi) {
+        gemmAccRows(a + lo * k, b, c + lo * m, hi - lo, k, m);
+    });
+}
+
+void
+gemmAccTransB(const float *g, const float *b, float *c, int64_t n,
+              int64_t m, int64_t k)
+{
+    forRowSlices(n, n * k * m, [=](int64_t lo, int64_t hi) {
+        gemmAccTransBRows(g + lo * m, b, c + lo * k, hi - lo, m, k);
+    });
+}
+
+void
+gemmAccTransA(const float *a, const float *g, float *c, int64_t n,
+              int64_t k, int64_t m)
+{
+    // Outer-product accumulation: every i adds a rank-1 update; the
+    // inner loop over j is contiguous in both G and C. C[k,m] is small
+    // for every model in this repository, so it stays cache-resident
+    // while A and G stream through once. Serial: concurrent updates
+    // would race on C.
+    for (int64_t i = 0; i < n; ++i) {
+        const float *grow = g + i * m;
+        for (int64_t kk = 0; kk < k; ++kk) {
+            const float av = a[i * k + kk];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + kk * m;
+            for (int64_t j = 0; j < m; ++j)
+                crow[j] += av * grow[j];
+        }
+    }
+}
+
+}  // namespace sp::nn

@@ -1,0 +1,101 @@
+#include "nn/inference.h"
+
+#include <algorithm>
+
+namespace sp::nn {
+
+namespace {
+
+thread_local TensorArena *tl_active_arena = nullptr;
+
+}  // namespace
+
+std::shared_ptr<TensorNode>
+TensorArena::allocate(int64_t rows, int64_t cols, bool zero)
+{
+    std::shared_ptr<TensorNode> node;
+    if (!free_.empty()) {
+        node = std::move(free_.back());
+        free_.pop_back();
+        ++hits_;
+    } else {
+        node = std::make_shared<TensorNode>();
+        ++misses_;
+    }
+    node->rows = rows;
+    node->cols = cols;
+    node->requires_grad = false;
+    // Both paths reuse the retained capacity; after warm-up neither
+    // allocates. resize() leaves reused elements stale — the cheap
+    // option for ops that overwrite every element anyway.
+    if (zero)
+        node->data.assign(static_cast<size_t>(node->numel()), 0.0f);
+    else
+        node->data.resize(static_cast<size_t>(node->numel()));
+    live_.push_back(node);
+    return node;
+}
+
+void
+TensorArena::reclaim()
+{
+    size_t kept = 0;
+    for (auto &node : live_) {
+        if (node.use_count() == 1)
+            free_.push_back(std::move(node));
+        else
+            live_[kept++] = std::move(node);
+    }
+    live_.resize(kept);
+}
+
+ArenaStats
+TensorArena::stats() const
+{
+    ArenaStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.pooled = free_.size();
+    stats.live = live_.size();
+    for (const auto &node : free_)
+        stats.bytes += node->data.capacity() * sizeof(float);
+    for (const auto &node : live_)
+        stats.bytes += node->data.capacity() * sizeof(float);
+    return stats;
+}
+
+TensorArena &
+TensorArena::forThisThread()
+{
+    thread_local TensorArena arena;
+    return arena;
+}
+
+InferenceScope::InferenceScope()
+    : prev_(tl_active_arena)
+{
+    if (prev_ == nullptr) {
+        TensorArena &arena = TensorArena::forThisThread();
+        arena.reclaim();
+        tl_active_arena = &arena;
+    }
+}
+
+InferenceScope::~InferenceScope()
+{
+    tl_active_arena = prev_;
+}
+
+TensorArena *
+activeArena()
+{
+    return tl_active_arena;
+}
+
+ArenaStats
+threadArenaStats()
+{
+    return TensorArena::forThisThread().stats();
+}
+
+}  // namespace sp::nn

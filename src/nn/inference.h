@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Inference mode: a no-grad execution context backed by a reusable
+ * tensor arena.
+ *
+ * Training builds a tape — every op heap-allocates a node with data,
+ * grad, parent links and a backward closure. Forward-only callers pay
+ * for none of that: inside an InferenceScope, ops allocate nodes from
+ * a thread-local TensorArena, record no parents and no closures, and
+ * never materialize grad buffers. The arena recycles nodes between
+ * passes (a node is reclaimable once no Tensor handle outside the
+ * arena references it), so after a warm-up pass repeated forward
+ * passes of the same model reuse the previous pass's buffers instead
+ * of touching the heap.
+ *
+ *     {
+ *         nn::InferenceScope scope;       // reclaims last pass's nodes
+ *         nn::Tensor probs = nn::sigmoid(model.forward(graph));
+ *         ... copy probs.data() out ...
+ *     }                                   // nodes returned next pass
+ *
+ * Scopes nest (inner scopes are no-ops) and the mode is strictly
+ * per-thread: concurrent inference workers each get their own arena.
+ * Explicitly requesting a grad-tracking tensor (Tensor::zeros(...,
+ * requires_grad=true)) inside a scope still allocates off-arena, so
+ * parameter construction behaves identically everywhere.
+ */
+#ifndef SP_NN_INFERENCE_H
+#define SP_NN_INFERENCE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace sp::nn {
+
+/** Arena occupancy and reuse counters (monotonic per thread). */
+struct ArenaStats
+{
+    uint64_t hits = 0;    ///< nodes served from the free list
+    uint64_t misses = 0;  ///< nodes that had to be heap-allocated
+    size_t pooled = 0;    ///< free-list size right now
+    size_t live = 0;      ///< nodes handed out and not yet reclaimed
+    /** Float storage (data capacity) across pooled + live nodes. */
+    size_t bytes = 0;
+
+    double
+    hitRatio() const
+    {
+        const uint64_t total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(total);
+    }
+};
+
+/**
+ * Pool of recyclable TensorNodes. One per thread; user code interacts
+ * with it only through InferenceScope and the stats accessors.
+ */
+class TensorArena
+{
+  public:
+    /**
+     * A node with the given shape, no grad buffer, no parents and no
+     * closure. Reuses a free-list node (retaining its data capacity)
+     * when one is available. With `zero` false the data holds stale
+     * values from the node's previous life — callers that overwrite
+     * every element request this to skip the redundant fill.
+     */
+    std::shared_ptr<TensorNode> allocate(int64_t rows, int64_t cols,
+                                         bool zero = true);
+
+    /**
+     * Move every live node that only the arena still references onto
+     * the free list. Called on outermost scope entry, when all Tensor
+     * handles from the previous pass are gone.
+     */
+    void reclaim();
+
+    ArenaStats stats() const;
+
+    /** This thread's arena (created on first use). */
+    static TensorArena &forThisThread();
+
+  private:
+    std::vector<std::shared_ptr<TensorNode>> live_;
+    std::vector<std::shared_ptr<TensorNode>> free_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** RAII entry into inference mode on the current thread. */
+class InferenceScope
+{
+  public:
+    InferenceScope();
+    ~InferenceScope();
+
+    InferenceScope(const InferenceScope &) = delete;
+    InferenceScope &operator=(const InferenceScope &) = delete;
+
+  private:
+    TensorArena *prev_;
+};
+
+/** The active arena, or nullptr when not in inference mode. */
+TensorArena *activeArena();
+
+/** True inside any InferenceScope on this thread. */
+inline bool
+inInferenceMode()
+{
+    return activeArena() != nullptr;
+}
+
+/** Stats of this thread's arena (zeroes before first use). */
+ArenaStats threadArenaStats();
+
+}  // namespace sp::nn
+
+#endif  // SP_NN_INFERENCE_H

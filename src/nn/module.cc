@@ -62,7 +62,7 @@ Linear::forward(const Tensor &x) const
               static_cast<long long>(in_),
               static_cast<long long>(x.rows()),
               static_cast<long long>(x.cols()));
-    return addRowVec(matmul(x, weight_), bias_);
+    return affine(x, weight_, bias_);
 }
 
 Embedding::Embedding(Rng &rng, int64_t vocab, int64_t dim,

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "nn/gemm.h"
+#include "nn/inference.h"
+#include "obs/timer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -11,9 +14,20 @@ namespace sp::nn {
 
 namespace {
 
+// `zero` false skips the data fill for ops that overwrite every
+// element; only the arena-reuse path actually has stale bytes to
+// skip (a fresh heap vector zero-fills regardless).
 std::shared_ptr<TensorNode>
-makeNode(int64_t rows, int64_t cols, bool requires_grad)
+makeNode(int64_t rows, int64_t cols, bool requires_grad,
+         bool zero = true)
 {
+    // Forward-only nodes come from the thread's arena inside an
+    // InferenceScope; explicitly grad-tracking tensors (parameters)
+    // always take the heap path.
+    if (!requires_grad) {
+        if (TensorArena *arena = activeArena())
+            return arena->allocate(rows, cols, zero);
+    }
     auto node = std::make_shared<TensorNode>();
     node->rows = rows;
     node->cols = cols;
@@ -24,15 +38,21 @@ makeNode(int64_t rows, int64_t cols, bool requires_grad)
     return node;
 }
 
-// Result node whose requires_grad is the OR of its parents'.
+// Result node whose requires_grad is the OR of its parents'. In
+// inference mode no tape is built: the node never requires grad and
+// records neither parents nor (at the op sites, which all check
+// out->requires_grad) a backward closure.
 std::shared_ptr<TensorNode>
 makeResult(int64_t rows, int64_t cols,
-           std::vector<std::shared_ptr<TensorNode>> parents)
+           std::vector<std::shared_ptr<TensorNode>> parents,
+           bool zero = true)
 {
+    if (inInferenceMode())
+        return makeNode(rows, cols, false, zero);
     bool needs = false;
     for (const auto &p : parents)
         needs |= p->requires_grad;
-    auto node = makeNode(rows, cols, needs);
+    auto node = makeNode(rows, cols, needs, zero);
     node->parents = std::move(parents);
     return node;
 }
@@ -134,9 +154,17 @@ Tensor::set(int64_t r, int64_t c, float v)
 void
 Tensor::backward()
 {
-    SP_ASSERT(valid() && numel() == 1, "backward() needs a scalar loss");
-    SP_ASSERT(node_->requires_grad,
-              "backward() on a tensor that does not require grad");
+    SP_ASSERT(valid(), "backward() on a null tensor");
+    if (numel() != 1) {
+        SP_PANIC("backward() needs a scalar loss, got shape [%lld, %lld]"
+                 " — reduce with sumAll/meanAll first",
+                 static_cast<long long>(node_->rows),
+                 static_cast<long long>(node_->cols));
+    }
+    if (!node_->requires_grad) {
+        SP_PANIC("backward() on a tensor that does not require grad "
+                 "(inside an InferenceScope no tape is recorded)");
+    }
 
     // Reverse-topological order by iterative DFS.
     std::vector<TensorNode *> order;
@@ -179,19 +207,10 @@ matmul(const Tensor &a, const Tensor &b)
     const int64_t n = a.rows(), k = a.cols(), m = b.cols();
     auto out = makeResult(n, m, {a.node(), b.node()});
 
-    const float *ad = a.data().data();
-    const float *bd = b.data().data();
-    float *od = out->data.data();
-    for (int64_t i = 0; i < n; ++i) {
-        for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = ad[i * k + kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = bd + kk * m;
-            float *orow = od + i * m;
-            for (int64_t j = 0; j < m; ++j)
-                orow[j] += av * brow[j];
-        }
+    {
+        SP_TIMED("nn.gemm_us");
+        gemmAcc(a.data().data(), b.data().data(), out->data.data(), n,
+                k, m);
     }
 
     if (out->requires_grad) {
@@ -201,29 +220,119 @@ matmul(const Tensor &a, const Tensor &b)
             const float *gd = on->grad.data();
             if (an->requires_grad) {
                 // dA = dOut * B^T
-                float *ag = an->grad.data();
-                const float *bd2 = bn->data.data();
-                for (int64_t i = 0; i < n; ++i)
-                    for (int64_t j = 0; j < m; ++j) {
-                        const float g = gd[i * m + j];
-                        if (g == 0.0f)
-                            continue;
-                        for (int64_t kk = 0; kk < k; ++kk)
-                            ag[i * k + kk] += g * bd2[kk * m + j];
-                    }
+                gemmAccTransB(gd, bn->data.data(), an->grad.data(), n,
+                              m, k);
             }
             if (bn->requires_grad) {
                 // dB = A^T * dOut
-                float *bg = bn->grad.data();
-                const float *ad2 = an->data.data();
+                gemmAccTransA(an->data.data(), gd, bn->grad.data(), n,
+                              k, m);
+            }
+        };
+    }
+    return Tensor(out);
+}
+
+Tensor
+affine(const Tensor &a, const Tensor &w, const Tensor &b)
+{
+    SP_ASSERT(a.isMatrix() && w.isMatrix() && a.cols() == w.rows(),
+              "affine shape mismatch");
+    SP_ASSERT(!b.isMatrix() && b.rows() == w.cols(),
+              "affine bias shape mismatch");
+    const int64_t n = a.rows(), k = a.cols(), m = w.cols();
+    auto out = makeResult(n, m, {a.node(), w.node(), b.node()},
+                          /*zero=*/false);
+    // Seed every output row with the bias, then accumulate the
+    // product on top: bias + dot == dot + bias exactly.
+    for (int64_t i = 0; i < n; ++i)
+        std::copy_n(b.data().data(), m, out->data.data() + i * m);
+    {
+        SP_TIMED("nn.gemm_us");
+        gemmAcc(a.data().data(), w.data().data(), out->data.data(), n,
+                k, m);
+    }
+
+    if (out->requires_grad) {
+        auto an = a.node(), wn = w.node(), bn = b.node();
+        auto on = out.get();
+        out->backward_fn = [an, wn, bn, on, n, k, m] {
+            const float *gd = on->grad.data();
+            if (an->requires_grad) {
+                // dA = dOut * W^T
+                gemmAccTransB(gd, wn->data.data(), an->grad.data(), n,
+                              m, k);
+            }
+            if (wn->requires_grad) {
+                // dW = A^T * dOut
+                gemmAccTransA(an->data.data(), gd, wn->grad.data(), n,
+                              k, m);
+            }
+            if (bn->requires_grad) {
+                // db = column sums of dOut
                 for (int64_t i = 0; i < n; ++i)
-                    for (int64_t kk = 0; kk < k; ++kk) {
-                        const float av = ad2[i * k + kk];
-                        if (av == 0.0f)
-                            continue;
-                        for (int64_t j = 0; j < m; ++j)
-                            bg[kk * m + j] += av * gd[i * m + j];
-                    }
+                    for (int64_t j = 0; j < m; ++j)
+                        bn->grad[j] += gd[i * m + j];
+            }
+        };
+    }
+    return Tensor(out);
+}
+
+Tensor
+segmentMeanRows(const Tensor &a, const std::vector<int32_t> &src,
+                const std::vector<int32_t> &dst, int64_t out_rows)
+{
+    SP_ASSERT(a.isMatrix());
+    SP_ASSERT(src.size() == dst.size(),
+              "segmentMeanRows needs one (src, dst) pair per edge");
+    const int64_t m = a.cols();
+    const auto edges = static_cast<int64_t>(src.size());
+    auto out = makeResult(out_rows, m, {a.node()});
+
+    // In-degree reciprocals; thread-local so steady-state inference
+    // passes stay allocation-free.
+    thread_local std::vector<float> inv_degree;
+    inv_degree.assign(static_cast<size_t>(out_rows), 0.0f);
+    for (int32_t d : dst) {
+        SP_ASSERT(d >= 0 && d < out_rows,
+                  "segmentMeanRows dst out of range");
+        inv_degree[static_cast<size_t>(d)] += 1.0f;
+    }
+    for (auto &d : inv_degree)
+        d = d > 0.0f ? 1.0f / d : 0.0f;
+
+    for (int64_t e = 0; e < edges; ++e) {
+        SP_ASSERT(src[e] >= 0 && src[e] < a.rows(),
+                  "segmentMeanRows src out of range");
+        float *out_row = out->data.data() + dst[e] * m;
+        const float *in_row = a.data().data() + src[e] * m;
+        for (int64_t j = 0; j < m; ++j)
+            out_row[j] += in_row[j];
+    }
+    for (int64_t i = 0; i < out_rows; ++i) {
+        const float scale = inv_degree[static_cast<size_t>(i)];
+        if (scale == 0.0f)
+            continue;  // row untouched: stays exactly zero
+        float *out_row = out->data.data() + i * m;
+        for (int64_t j = 0; j < m; ++j)
+            out_row[j] *= scale;
+    }
+
+    if (out->requires_grad) {
+        auto an = a.node();
+        auto on = out.get();
+        auto src_idx = src;
+        auto dst_idx = dst;
+        auto inv = inv_degree;  // captured by value for the tape
+        out->backward_fn = [an, on, src_idx, dst_idx, inv, edges, m] {
+            for (int64_t e = 0; e < edges; ++e) {
+                const float scale =
+                    inv[static_cast<size_t>(dst_idx[e])];
+                const float *g = on->grad.data() + dst_idx[e] * m;
+                float *dst_row = an->grad.data() + src_idx[e] * m;
+                for (int64_t j = 0; j < m; ++j)
+                    dst_row[j] += g[j] * scale;
             }
         };
     }
@@ -239,7 +348,8 @@ elementwiseBinary(const Tensor &a, const Tensor &b, Fwd fwd, BwdA bwd_a,
                   BwdB bwd_b)
 {
     checkSameShape(a, b);
-    auto out = makeResult(a.rows(), a.cols(), {a.node(), b.node()});
+    auto out = makeResult(a.rows(), a.cols(), {a.node(), b.node()},
+                          /*zero=*/false);
     const size_t n = out->data.size();
     for (size_t i = 0; i < n; ++i)
         out->data[i] = fwd(a.data()[i], b.data()[i]);
@@ -265,7 +375,8 @@ template <typename Fwd, typename BwdFromOut>
 Tensor
 elementwiseUnary(const Tensor &a, Fwd fwd, BwdFromOut bwd)
 {
-    auto out = makeResult(a.rows(), a.cols(), {a.node()});
+    auto out = makeResult(a.rows(), a.cols(), {a.node()},
+                          /*zero=*/false);
     const size_t n = out->data.size();
     for (size_t i = 0; i < n; ++i)
         out->data[i] = fwd(a.data()[i]);
@@ -315,7 +426,7 @@ addRowVec(const Tensor &a, const Tensor &b)
     SP_ASSERT(a.isMatrix() && !b.isMatrix() && b.rows() == a.cols(),
               "addRowVec shape mismatch");
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node(), b.node()});
+    auto out = makeResult(n, m, {a.node(), b.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < m; ++j)
             out->data[i * m + j] = a.data()[i * m + j] + b.data()[j];
@@ -342,7 +453,7 @@ mulRowVec(const Tensor &a, const Tensor &b)
     SP_ASSERT(a.isMatrix() && !b.isMatrix() && b.rows() == a.cols(),
               "mulRowVec shape mismatch");
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node(), b.node()});
+    auto out = makeResult(n, m, {a.node(), b.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < m; ++j)
             out->data[i * m + j] = a.data()[i * m + j] * b.data()[j];
@@ -405,7 +516,7 @@ gatherRows(const Tensor &a, const std::vector<int32_t> &index)
     SP_ASSERT(a.isMatrix());
     const int64_t m = a.cols();
     const int64_t n = static_cast<int64_t>(index.size());
-    auto out = makeResult(n, m, {a.node()});
+    auto out = makeResult(n, m, {a.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i) {
         SP_ASSERT(index[i] >= 0 && index[i] < a.rows(),
                   "gatherRows index out of range");
@@ -468,7 +579,7 @@ rowScale(const Tensor &a, const std::vector<float> &scales)
     SP_ASSERT(a.isMatrix());
     SP_ASSERT(static_cast<int64_t>(scales.size()) == a.rows());
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node()});
+    auto out = makeResult(n, m, {a.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < m; ++j)
             out->data[i * m + j] = a.data()[i * m + j] * scales[i];
@@ -491,7 +602,7 @@ rowScaleT(const Tensor &a, const Tensor &v)
     SP_ASSERT(a.isMatrix() && !v.isMatrix() && v.rows() == a.rows(),
               "rowScaleT shape mismatch");
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node(), v.node()});
+    auto out = makeResult(n, m, {a.node(), v.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i)
         for (int64_t j = 0; j < m; ++j)
             out->data[i * m + j] = a.data()[i * m + j] * v.data()[i];
@@ -528,18 +639,21 @@ segmentSoftmax(const Tensor &scores, const std::vector<int32_t> &segment,
     SP_ASSERT(!scores.isMatrix());
     const auto n = static_cast<size_t>(scores.rows());
     SP_ASSERT(segment.size() == n);
-    auto out = makeResult(static_cast<int64_t>(n), 0, {scores.node()});
+    auto out = makeResult(static_cast<int64_t>(n), 0, {scores.node()},
+                          /*zero=*/false);
 
     // Per-segment max for stability, then exp and per-segment sum.
-    std::vector<float> seg_max(static_cast<size_t>(num_segments),
-                               -3.4e38f);
+    // Thread-local scratch: reused across calls so repeated inference
+    // passes stay allocation-free.
+    thread_local std::vector<float> seg_max, seg_sum;
+    seg_max.assign(static_cast<size_t>(num_segments), -3.4e38f);
     for (size_t i = 0; i < n; ++i) {
         SP_ASSERT(segment[i] >= 0 && segment[i] < num_segments);
         seg_max[static_cast<size_t>(segment[i])] =
             std::max(seg_max[static_cast<size_t>(segment[i])],
                      scores.data()[i]);
     }
-    std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+    seg_sum.assign(static_cast<size_t>(num_segments), 0.0f);
     for (size_t i = 0; i < n; ++i) {
         const float e = std::exp(
             scores.data()[i] - seg_max[static_cast<size_t>(segment[i])]);
@@ -584,7 +698,7 @@ concatCols(const std::vector<Tensor> &parts)
         total_cols += p.cols();
         parents.push_back(p.node());
     }
-    auto out = makeResult(n, total_cols, parents);
+    auto out = makeResult(n, total_cols, parents, /*zero=*/false);
     int64_t offset = 0;
     for (const auto &p : parts) {
         const int64_t m = p.cols();
@@ -629,7 +743,7 @@ concatRows(const std::vector<Tensor> &parts)
         total_rows += p.rows();
         parents.push_back(p.node());
     }
-    auto out = makeResult(total_rows, m, parents);
+    auto out = makeResult(total_rows, m, parents, /*zero=*/false);
     int64_t row = 0;
     for (const auto &p : parts) {
         std::copy(p.data().begin(), p.data().end(),
@@ -659,8 +773,12 @@ layerNormRows(const Tensor &a, float eps)
 {
     SP_ASSERT(a.isMatrix());
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node()});
-    std::vector<float> inv_std(static_cast<size_t>(n));
+    auto out = makeResult(n, m, {a.node()}, /*zero=*/false);
+    // inv_std is only kept for the backward pass; inference-mode
+    // forwards skip the allocation entirely.
+    std::vector<float> inv_std;
+    if (out->requires_grad)
+        inv_std.resize(static_cast<size_t>(n));
     for (int64_t i = 0; i < n; ++i) {
         const float *row = a.data().data() + i * m;
         float mean = 0.0f;
@@ -674,7 +792,8 @@ layerNormRows(const Tensor &a, float eps)
         }
         var /= static_cast<float>(m);
         const float is = 1.0f / std::sqrt(var + eps);
-        inv_std[static_cast<size_t>(i)] = is;
+        if (!inv_std.empty())
+            inv_std[static_cast<size_t>(i)] = is;
         for (int64_t j = 0; j < m; ++j)
             out->data[i * m + j] = (row[j] - mean) * is;
     }
@@ -708,7 +827,7 @@ softmaxRows(const Tensor &a)
 {
     SP_ASSERT(a.isMatrix());
     const int64_t n = a.rows(), m = a.cols();
-    auto out = makeResult(n, m, {a.node()});
+    auto out = makeResult(n, m, {a.node()}, /*zero=*/false);
     for (int64_t i = 0; i < n; ++i) {
         const float *row = a.data().data() + i * m;
         float mx = row[0];
@@ -745,7 +864,7 @@ softmaxRows(const Tensor &a)
 Tensor
 flatten(const Tensor &a)
 {
-    auto out = makeResult(a.numel(), 0, {a.node()});
+    auto out = makeResult(a.numel(), 0, {a.node()}, /*zero=*/false);
     out->data = a.data();
     if (out->requires_grad) {
         auto an = a.node();
@@ -898,7 +1017,8 @@ dropout(const Tensor &a, float p, Rng &rng, bool training)
     if (!training || p <= 0.0f)
         return a;
     SP_ASSERT(p < 1.0f, "dropout probability must be < 1");
-    auto out = makeResult(a.rows(), a.cols(), {a.node()});
+    auto out = makeResult(a.rows(), a.cols(), {a.node()},
+                          /*zero=*/false);
     const size_t n = out->data.size();
     std::vector<float> mask(n);
     const float keep_scale = 1.0f / (1.0f - p);

@@ -121,6 +121,28 @@ class Tensor
 /** Matrix product [n,k]x[k,m] -> [n,m]. */
 Tensor matmul(const Tensor &a, const Tensor &b);
 
+/**
+ * Fused affine map: a * w + b for matrix a [n,k], weights w [k,m] and
+ * rank-1 bias b of length m. Equivalent to addRowVec(matmul(a, w), b)
+ * — bit-identical, since the GEMM accumulates onto a bias-initialized
+ * output — but with one node and one pass over the output instead of
+ * two. The Linear-layer hot path.
+ */
+Tensor affine(const Tensor &a, const Tensor &w, const Tensor &b);
+
+/**
+ * Fused mean-aggregation over graph edges: for each edge e,
+ * out[dst[e], :] accumulates a[src[e], :], and each output row is then
+ * divided by its in-degree (rows with no incoming edge stay zero).
+ * Equivalent to rowScale(scatterAddRows(gatherRows(a, src), dst,
+ * out_rows), 1/degree) without materializing the two intermediates —
+ * the GCN message-passing hot path.
+ */
+Tensor segmentMeanRows(const Tensor &a,
+                       const std::vector<int32_t> &src,
+                       const std::vector<int32_t> &dst,
+                       int64_t out_rows);
+
 /** Elementwise sum of same-shape tensors. */
 Tensor add(const Tensor &a, const Tensor &b);
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "nn/inference.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
 
@@ -373,6 +374,279 @@ TEST(Tensor, ChainedGraphGradient)
                       Tensor h = tanhT(matmul(x, w));
                       Tensor pooled = scatterAddRows(h, {0, 0}, 1);
                       return meanAll(mul(pooled, pooled));
+                  });
+}
+
+// ---------------------------------------------------------------------
+// Blocked-GEMM regression: the packed/blocked kernels must agree with a
+// naive triple loop on every shape class, including shapes that do not
+// divide the block sizes and degenerate single-row/column cases.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::vector<float>
+randomValues(Rng &rng, size_t n, bool with_zero_rows, int64_t cols)
+{
+    std::vector<float> values(n);
+    for (auto &v : values)
+        v = static_cast<float>(rng.gaussian());
+    if (with_zero_rows && cols > 0) {
+        // Zero out every third row to exercise the zero-row skip.
+        const size_t rows = n / static_cast<size_t>(cols);
+        for (size_t r = 0; r < rows; r += 3)
+            for (int64_t j = 0; j < cols; ++j)
+                values[r * static_cast<size_t>(cols) +
+                       static_cast<size_t>(j)] = 0.0f;
+    }
+    return values;
+}
+
+void
+naiveMatmul(const std::vector<float> &a, const std::vector<float> &b,
+            std::vector<float> &c, int64_t n, int64_t k, int64_t m)
+{
+    c.assign(static_cast<size_t>(n * m), 0.0f);
+    for (int64_t i = 0; i < n; ++i)
+        for (int64_t kk = 0; kk < k; ++kk)
+            for (int64_t j = 0; j < m; ++j)
+                c[i * m + j] += a[i * k + kk] * b[kk * m + j];
+}
+
+}  // namespace
+
+TEST(Tensor, BlockedMatmulMatchesNaiveReference)
+{
+    Rng rng(1234);
+    // {n, k, m}: block multiples, odd primes, degenerate rows/cols,
+    // shapes larger than one column block (kColBlock = 64).
+    const int64_t shapes[][3] = {
+        {1, 1, 1},  {1, 7, 1},   {7, 1, 3},    {1, 40, 40},
+        {5, 3, 2},  {33, 17, 9}, {131, 40, 40}, {64, 64, 64},
+        {3, 257, 5}, {70, 13, 67},
+    };
+    for (const auto &shape : shapes) {
+        const int64_t n = shape[0], k = shape[1], m = shape[2];
+        const auto av = randomValues(
+            rng, static_cast<size_t>(n * k), /*with_zero_rows=*/true, k);
+        const auto bv = randomValues(
+            rng, static_cast<size_t>(k * m), /*with_zero_rows=*/false, 0);
+        std::vector<float> expected;
+        naiveMatmul(av, bv, expected, n, k, m);
+
+        Tensor a = Tensor::fromMatrix(av, n, k);
+        Tensor b = Tensor::fromMatrix(bv, k, m);
+        Tensor c = matmul(a, b);
+        for (int64_t i = 0; i < n * m; ++i) {
+            EXPECT_NEAR(c.data()[static_cast<size_t>(i)],
+                        expected[static_cast<size_t>(i)], 1e-4f)
+                << "shape [" << n << "," << k << "," << m
+                << "] element " << i;
+        }
+    }
+}
+
+TEST(Tensor, BlockedMatmulGradientsMatchNaiveReference)
+{
+    Rng rng(99);
+    const int64_t shapes[][3] = {
+        {1, 5, 1}, {5, 1, 3}, {9, 67, 4}, {33, 8, 70}, {131, 40, 40},
+    };
+    for (const auto &shape : shapes) {
+        const int64_t n = shape[0], k = shape[1], m = shape[2];
+        const auto av = randomValues(
+            rng, static_cast<size_t>(n * k), /*with_zero_rows=*/true, k);
+        const auto bv = randomValues(
+            rng, static_cast<size_t>(k * m), /*with_zero_rows=*/false, 0);
+        // Weighting matrix makes dOut non-uniform, so both backward
+        // GEMM variants see a general gradient.
+        const auto wv = randomValues(
+            rng, static_cast<size_t>(n * m), /*with_zero_rows=*/false, 0);
+
+        Tensor a = Tensor::fromMatrix(av, n, k, /*requires_grad=*/true);
+        Tensor b = Tensor::fromMatrix(bv, k, m, /*requires_grad=*/true);
+        Tensor w = Tensor::fromMatrix(wv, n, m);
+        sumAll(mul(matmul(a, b), w)).backward();
+
+        // dA = (W ∘ dOut=W) * B^T, dB = A^T * W — naive loops.
+        for (int64_t i = 0; i < n; ++i) {
+            for (int64_t kk = 0; kk < k; ++kk) {
+                float expected = 0.0f;
+                for (int64_t j = 0; j < m; ++j)
+                    expected += wv[static_cast<size_t>(i * m + j)] *
+                                bv[static_cast<size_t>(kk * m + j)];
+                EXPECT_NEAR(a.grad()[static_cast<size_t>(i * k + kk)],
+                            expected, 1e-3f)
+                    << "dA[" << i << "," << kk << "] shape [" << n
+                    << "," << k << "," << m << "]";
+            }
+        }
+        for (int64_t kk = 0; kk < k; ++kk) {
+            for (int64_t j = 0; j < m; ++j) {
+                float expected = 0.0f;
+                for (int64_t i = 0; i < n; ++i)
+                    expected += av[static_cast<size_t>(i * k + kk)] *
+                                wv[static_cast<size_t>(i * m + j)];
+                EXPECT_NEAR(b.grad()[static_cast<size_t>(kk * m + j)],
+                            expected, 1e-3f)
+                    << "dB[" << kk << "," << j << "] shape [" << n
+                    << "," << k << "," << m << "]";
+            }
+        }
+    }
+}
+
+TEST(Tensor, AffineMatchesMatmulPlusBias)
+{
+    Rng rng(7);
+    const auto av = randomValues(rng, 6 * 5, false, 0);
+    const auto wv = randomValues(rng, 5 * 3, false, 0);
+    const auto bv = randomValues(rng, 3, false, 0);
+    Tensor a = Tensor::fromMatrix(av, 6, 5);
+    Tensor w = Tensor::fromMatrix(wv, 5, 3);
+    Tensor b = Tensor::fromVector(bv);
+    Tensor fused = affine(a, w, b);
+    Tensor unfused = addRowVec(matmul(a, w), b);
+    for (size_t i = 0; i < fused.data().size(); ++i)
+        EXPECT_FLOAT_EQ(fused.data()[i], unfused.data()[i]) << i;
+}
+
+TEST(Tensor, AffineGradients)
+{
+    Tensor w = Tensor::fromMatrix({0.5f, -1.0f, 2.0f, 0.25f, 1.5f, -0.5f},
+                                  3, 2);
+    Tensor b = Tensor::fromVector({0.3f, -0.2f});
+    checkGradient({1, 2, 3, 4, 5, 6}, 2, 3, [&](const Tensor &x) {
+        return sumAll(affine(x, w, b));
+    });
+    Tensor a = Tensor::fromMatrix({1, -2, 0.5f, 3, 0.1f, 1.1f}, 2, 3);
+    checkGradient({0.1f, 0.2f, 0.3f, 0.4f, -0.5f, 0.6f}, 3, 2,
+                  [&](const Tensor &x) {
+                      return sumAll(mul(affine(a, x, b),
+                                        Tensor::fromMatrix(
+                                            {1, 2, 3, 4}, 2, 2)));
+                  });
+    checkGradient({0.3f, -0.2f}, 2, 0, [&](const Tensor &x) {
+        return sumAll(affine(a, w, x));
+    });
+}
+
+TEST(Tensor, SegmentMeanRowsMatchesUnfusedChain)
+{
+    Rng rng(21);
+    const auto hv = randomValues(rng, 5 * 3, false, 0);
+    Tensor h = Tensor::fromMatrix(hv, 5, 3);
+    const std::vector<int32_t> src = {0, 1, 2, 4, 4};
+    const std::vector<int32_t> dst = {1, 1, 3, 3, 3};
+    Tensor fused = segmentMeanRows(h, src, dst, 5);
+
+    std::vector<float> inv_degree(5, 0.0f);
+    for (int32_t d : dst)
+        inv_degree[static_cast<size_t>(d)] += 1.0f;
+    for (auto &d : inv_degree)
+        d = d > 0.0f ? 1.0f / d : 0.0f;
+    Tensor unfused = rowScale(
+        scatterAddRows(gatherRows(h, src), dst, 5), inv_degree);
+    for (size_t i = 0; i < fused.data().size(); ++i)
+        EXPECT_FLOAT_EQ(fused.data()[i], unfused.data()[i]) << i;
+    // Rows without incoming edges stay exactly zero (the zero-row
+    // GEMM skip depends on this).
+    for (int64_t j = 0; j < 3; ++j) {
+        EXPECT_EQ(fused.at(0, j), 0.0f);
+        EXPECT_EQ(fused.at(2, j), 0.0f);
+        EXPECT_EQ(fused.at(4, j), 0.0f);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inference mode: no tape, no grad buffers, and a stable arena.
+// ---------------------------------------------------------------------
+
+TEST(Tensor, InferenceModeRecordsNoTape)
+{
+    Rng rng(3);
+    Tensor w = Tensor::randn(rng, 4, 4, 0.5f);  // parameter (grad)
+    Tensor b = Tensor::zerosVec(4, /*requires_grad=*/true);
+    InferenceScope scope;
+    Tensor x = Tensor::fromMatrix(
+        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 3, 4);
+    Tensor out = relu(affine(x, w, b));
+    EXPECT_FALSE(out.requiresGrad());
+    EXPECT_TRUE(out.node()->parents.empty());
+    EXPECT_FALSE(static_cast<bool>(out.node()->backward_fn));
+    EXPECT_TRUE(out.node()->grad.empty());
+}
+
+TEST(Tensor, InferenceArenaStableAcross100Passes)
+{
+    Rng rng(11);
+    Tensor w = Tensor::randn(rng, 16, 16, 0.1f);
+    Tensor b = Tensor::zerosVec(16, /*requires_grad=*/true);
+    std::vector<float> xs(8 * 16);
+    for (auto &v : xs)
+        v = static_cast<float>(rng.gaussian());
+
+    auto passOnce = [&] {
+        InferenceScope scope;
+        Tensor x = Tensor::fromMatrix(xs, 8, 16);
+        Tensor h = layerNormRows(relu(affine(x, w, b)));
+        return sumAll(h).item();
+    };
+    passOnce();
+    passOnce();  // warm-up: arena now holds every node the pass needs
+    const ArenaStats warm = threadArenaStats();
+    const float first = passOnce();
+    for (int i = 0; i < 99; ++i)
+        EXPECT_FLOAT_EQ(passOnce(), first) << "pass " << i;
+    const ArenaStats after = threadArenaStats();
+    // Zero tape growth and zero heap growth: every node of every pass
+    // was served from the free list, and the arena did not grow.
+    EXPECT_EQ(after.misses, warm.misses);
+    EXPECT_EQ(after.pooled + after.live, warm.pooled + warm.live);
+    EXPECT_GT(after.hits, warm.hits);
+}
+
+TEST(Tensor, DeepChainBackwardDoesNotRecurse)
+{
+    // 20k-node chain: a recursive topological sort would overflow the
+    // stack; the iterative traversal must handle it.
+    Tensor x = Tensor::fromVector({1.0f}, /*requires_grad=*/true);
+    Tensor h = x;
+    for (int i = 0; i < 20000; ++i)
+        h = add(h, x);
+    sumAll(h).backward();
+    EXPECT_FLOAT_EQ(x.grad()[0], 20001.0f);
+}
+
+TEST(TensorDeathTest, BackwardOnNonScalarLossPanics)
+{
+    Tensor x = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2,
+                                  /*requires_grad=*/true);
+    Tensor y = relu(x);
+    EXPECT_DEATH(y.backward(), "scalar loss");
+}
+
+TEST(TensorDeathTest, BackwardInsideInferenceScopePanics)
+{
+    Tensor w = Tensor::fromMatrix({1, 0, 0, 1}, 2, 2,
+                                  /*requires_grad=*/true);
+    InferenceScope scope;
+    Tensor x = Tensor::fromMatrix({1, 2, 3, 4}, 2, 2);
+    Tensor loss = sumAll(matmul(x, w));
+    EXPECT_DEATH(loss.backward(), "not require grad");
+}
+
+TEST(Tensor, SegmentMeanRowsGradient)
+{
+    Tensor pick = Tensor::fromMatrix(
+        {1, -1, 2, 0.5f, 3, -2, 1, 1, 0.25f, -0.5f, 2, 1, 0, 1, -1},
+        5, 3);
+    checkGradient({0.3f, -0.8f, 1.2f, 0.1f, -0.4f, 2.0f, 0.7f, -1.1f,
+                   0.9f, 0.2f, -0.6f, 1.4f, 0.8f, -0.3f, 0.5f},
+                  5, 3, [&](const Tensor &x) {
+                      Tensor pooled = segmentMeanRows(
+                          x, {0, 1, 2, 4, 4}, {1, 1, 3, 3, 3}, 5);
+                      return sumAll(mul(pooled, pick));
                   });
 }
 
