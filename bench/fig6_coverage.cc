@@ -18,9 +18,15 @@
 // stream every (system, seed, checkpoint) point as "fig6_point" JSONL
 // events plus a "fig6_summary" per kernel, so the figure's curves can
 // be regenerated from the telemetry file instead of scraping stdout.
+//
+// `--workers N` runs every campaign on the multi-worker engine (the
+// checkpoint grid, and therefore the figure's x-axis, is identical at
+// any worker count; N=1 reproduces the classic loop bit-for-bit).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "bench/common.h"
@@ -66,17 +72,19 @@ struct Band
 
 Band
 runCampaigns(const sp::kern::Kernel &kernel, const char *version,
-             bool snowplow, uint64_t budget)
+             bool snowplow, uint64_t budget, size_t workers)
 {
     Band band;
     for (int seed = 0; seed < kSeeds; ++seed) {
-        auto opts = spbench::evalFuzzOptions(budget, 1000 + seed);
-        auto fuzzer =
-            snowplow ? sp::core::makeSnowplowFuzzer(
+        sp::fuzz::CampaignOptions opts;
+        opts.workers = workers;
+        opts.fuzz = spbench::evalFuzzOptions(budget, 1000 + seed);
+        auto engine =
+            snowplow ? sp::core::makeSnowplowCampaign(
                            kernel, spbench::sharedPmm(), opts,
                            spbench::evalSnowplowOptions())
-                     : sp::core::makeSyzkallerFuzzer(kernel, opts);
-        auto report = fuzzer->run();
+                     : sp::core::makeSyzkallerCampaign(kernel, opts);
+        auto report = engine->run();
         std::vector<size_t> series;
         series.reserve(report.timeline.size());
         if (band.execs.empty()) {
@@ -115,12 +123,22 @@ int
 main(int argc, char **argv)
 {
     using namespace sp;
-    if (argc > 1)
-        obs::installSink({.path = argv[1]});
+    size_t workers = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+            workers = static_cast<size_t>(
+                std::max(1L, std::atol(argv[++i])));
+        } else {
+            obs::installSink({.path = argv[i]});
+        }
+    }
     std::printf("=== Figure 6: edge coverage over 24 virtual hours, "
                 "%d seeds ===\n", kSeeds);
-    std::printf("(1 virtual hour = %llu executed tests)\n\n",
+    std::printf("(1 virtual hour = %llu executed tests",
                 static_cast<unsigned long long>(spbench::kHourInExecs));
+    if (workers > 1)
+        std::printf("; %zu campaign workers", workers);
+    std::printf(")\n\n");
 
     double improvements[3] = {};
     const char *versions[3] = {"6.8", "6.9", "6.10"};
@@ -131,9 +149,9 @@ main(int argc, char **argv)
                     v == 0 ? " [training kernel]" : " [unseen]");
 
         auto syz = runCampaigns(kernel, versions[v], false,
-                                spbench::kDayInExecs);
+                                spbench::kDayInExecs, workers);
         auto snow = runCampaigns(kernel, versions[v], true,
-                                 spbench::kDayInExecs);
+                                 spbench::kDayInExecs, workers);
 
         // Series table every 2 virtual hours.
         std::printf("%6s | %27s | %27s\n", "hour",
@@ -188,6 +206,7 @@ main(int argc, char **argv)
         if (auto *sink = obs::sink()) {
             sink->event("fig6_summary",
                         {{"kernel", versions[v]},
+                         {"workers", workers},
                          {"syz_final_mean_edges", syz_final},
                          {"snow_final_mean_edges", snow_final},
                          {"improvement_pct", improvements[v]},

@@ -82,7 +82,19 @@ validate_jsonl "$snowplow" \
     coverage_checkpoint mutation_outcome inference_latency \
     campaign_summary registry_snapshot
 
-# Stage 3: NN hot-path perf smoke — run the GEMM / inference-latency /
+# Stage 3: ThreadSanitizer pass over the concurrency-bearing suites —
+# the sharded corpus, campaign engine, prediction cache and telemetry
+# registry all run multi-threaded in production, so they must be clean
+# under -fsanitize=thread (a separate build tree; TSan and the regular
+# flags cannot share objects).
+cmake -B build-tsan -S . -DSP_SANITIZE=thread
+cmake --build build-tsan -j"$(nproc)" --target \
+    fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
+    obs_test
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test)$'
+
+# Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
 # this google-benchmark predates unit suffixes) and keep the JSON
 # report as a build artifact for eyeballing regressions.

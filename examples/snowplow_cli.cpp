@@ -4,12 +4,15 @@
 //       Print the simulated kernel's structure (syscalls, blocks,
 //       edges, bug sites).
 //
-//   snowplow_cli fuzz [--budget N] [--seed N] [--pmm CKPT] [--async W]
+//   snowplow_cli fuzz [--budget N] [--seed N] [--workers N]
+//                     [--pmm CKPT] [--async W]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
-//       the coverage timeline and crash summary. With --async W the
-//       learned localizer queries an InferenceService worker pool of
-//       W threads instead of predicting inline (§3.4 deployment).
+//       the coverage timeline and crash summary. --workers N runs the
+//       campaign engine with N fuzzing workers (N=1, the default, is
+//       bit-for-bit the classic single-threaded loop). With --async W
+//       the learned localizer queries an InferenceService worker pool
+//       of W threads instead of predicting inline (§3.4 deployment).
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT]
@@ -119,48 +122,60 @@ cmdFuzz(const Args &args)
     opts.seed = args.getU64("seed", 1);
     opts.checkpoint_every = std::max<uint64_t>(1, opts.exec_budget / 12);
 
+    fuzz::CampaignOptions campaign_opts;
+    campaign_opts.workers = static_cast<size_t>(
+        std::max<uint64_t>(1, args.getU64("workers", 1)));
+    campaign_opts.fuzz = opts;
+
     core::Pmm model;
     const std::string ckpt = args.get("pmm", "");
     const bool snowplow = !ckpt.empty() &&
                           nn::loadParameters(model, ckpt);
     const size_t async_workers =
         snowplow ? static_cast<size_t>(args.getU64("async", 0)) : 0;
-    std::printf("%s campaign, budget %llu\n",
+    const std::string workers_note =
+        campaign_opts.workers > 1
+            ? ", workers " + std::to_string(campaign_opts.workers)
+            : "";
+    std::printf("%s campaign, budget %llu%s\n",
                 snowplow ? (async_workers ? "Snowplow (async)"
                                           : "Snowplow")
                          : "Syzkaller (baseline)",
-                static_cast<unsigned long long>(opts.exec_budget));
+                static_cast<unsigned long long>(opts.exec_budget),
+                workers_note.c_str());
 
-    // Declared before the fuzzer: the async localizer drains its
-    // outstanding futures on destruction, so it must die first.
+    // Declared before the engine: the async localizers drain their
+    // outstanding futures on destruction, so the service must die last.
     std::unique_ptr<core::InferenceService> service;
-    std::unique_ptr<fuzz::Fuzzer> fuzzer;
+    std::unique_ptr<fuzz::CampaignEngine> engine;
     if (async_workers > 0) {
         service = std::make_unique<core::InferenceService>(
             model, async_workers);
-        fuzzer = core::makeAsyncSnowplowFuzzer(kernel, *service, opts);
+        engine = core::makeAsyncSnowplowCampaign(kernel, *service,
+                                                 campaign_opts);
     } else if (snowplow) {
-        fuzzer = core::makeSnowplowFuzzer(kernel, model, opts);
+        engine = core::makeSnowplowCampaign(kernel, model,
+                                            campaign_opts);
     } else {
-        fuzzer = core::makeSyzkallerFuzzer(kernel, opts);
+        engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
     }
-    auto report = fuzzer->run();
+    auto report = engine->run();
     for (const auto &cp : report.timeline) {
         std::printf("  execs %8llu  edges %6zu  blocks %6zu  "
                     "crashes %3zu\n",
                     static_cast<unsigned long long>(cp.execs), cp.edges,
                     cp.blocks, cp.crashes);
     }
-    fuzzer->crashes().reproduceAll();
+    engine->crashes().reproduceAll();
     std::printf("final: %zu edges, %zu crashes (%zu new, %zu with "
                 "reproducer)\n",
-                report.final_edges, fuzzer->crashes().uniqueCrashes(),
-                fuzzer->crashes().newCrashes(),
-                fuzzer->crashes().reproducedCrashes());
+                report.final_edges, engine->crashes().uniqueCrashes(),
+                engine->crashes().newCrashes(),
+                engine->crashes().reproducedCrashes());
     if (service) {
-        // The fuzzer holds the localizer with outstanding futures;
+        // The engine holds the localizers with outstanding futures;
         // reset it first so every promise is consumed.
-        fuzzer.reset();
+        engine.reset();
         const auto istats = service->stats();
         std::printf("inference: %llu completed, latency p50 %.0f us  "
                     "p95 %.0f us  p99 %.0f us\n",

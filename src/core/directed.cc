@@ -35,23 +35,26 @@ distanceToBlock(const kern::Kernel &kernel, uint32_t target)
     return dist;
 }
 
-namespace {
-
-/** Build the distance-guided choose_test hook. */
-std::function<const fuzz::CorpusEntry &(const fuzz::Corpus &, Rng &)>
-distanceChooser(std::vector<uint32_t> distances)
+/** The distance-guided base pick on the campaign scheduler seam. */
+class DistanceScheduler : public fuzz::Scheduler
 {
-    return [distances = std::move(distances)](
-               const fuzz::Corpus &corpus,
-               Rng &rng) -> const fuzz::CorpusEntry & {
+  public:
+    explicit DistanceScheduler(std::vector<uint32_t> distances)
+        : distances_(std::move(distances))
+    {
+    }
+
+    const fuzz::CorpusEntry &
+    pick(const fuzz::Corpus &corpus, Rng &rng) override
+    {
         SP_ASSERT(!corpus.empty());
         std::vector<double> weights(corpus.size());
         for (size_t i = 0; i < corpus.size(); ++i) {
             uint32_t best = ~0u;
             for (uint32_t block :
                  corpus.entry(i).result.coverage.blocks()) {
-                if (block < distances.size())
-                    best = std::min(best, distances[block]);
+                if (block < distances_.size())
+                    best = std::min(best, distances_[block]);
             }
             // Entries at the frontier of the target dominate; entries
             // that cannot reach it at all keep a small exploration mass.
@@ -61,8 +64,13 @@ distanceChooser(std::vector<uint32_t> distances)
                                                 static_cast<double>(best));
         }
         return corpus.entry(rng.weightedIndex(weights));
-    };
-}
+    }
+
+  private:
+    const std::vector<uint32_t> distances_;
+};
+
+namespace {
 
 DirectedResult
 runDirected(const kern::Kernel &kernel, const DirectedOptions &opts,
@@ -71,8 +79,8 @@ runDirected(const kern::Kernel &kernel, const DirectedOptions &opts,
     fuzz::FuzzOptions fuzz_opts = opts.fuzz;
     fuzz_opts.exec_budget = opts.exec_budget;
     fuzz_opts.seed = opts.seed;
-    fuzz_opts.choose_test = distanceChooser(
-        distanceToBlock(kernel, opts.target_block));
+    fuzz_opts.scheduler =
+        makeDistanceScheduler(kernel, opts.target_block);
 
     fuzz::Fuzzer fuzzer(kernel, std::move(fuzz_opts),
                         std::move(localizer));
@@ -90,6 +98,13 @@ runDirected(const kern::Kernel &kernel, const DirectedOptions &opts,
 }
 
 }  // namespace
+
+std::shared_ptr<fuzz::Scheduler>
+makeDistanceScheduler(const kern::Kernel &kernel, uint32_t target)
+{
+    return std::make_shared<DistanceScheduler>(
+        distanceToBlock(kernel, target));
+}
 
 DirectedResult
 runSyzDirect(const kern::Kernel &kernel, const DirectedOptions &opts)

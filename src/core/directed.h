@@ -47,6 +47,16 @@ struct DirectedResult
 std::vector<uint32_t> distanceToBlock(const kern::Kernel &kernel,
                                       uint32_t target);
 
+/**
+ * Distance-guided base scheduler: corpus entries whose coverage sits
+ * closest to `target` (by static reverse-BFS distance) get most of the
+ * pick mass. This is the directed mode's choose_test as a Scheduler —
+ * stateless after construction, so safe to share across campaign
+ * workers.
+ */
+std::shared_ptr<fuzz::Scheduler>
+makeDistanceScheduler(const kern::Kernel &kernel, uint32_t target);
+
 /** Run the SyzDirect baseline toward one target. */
 DirectedResult runSyzDirect(const kern::Kernel &kernel,
                             const DirectedOptions &opts);

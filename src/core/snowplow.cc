@@ -29,7 +29,7 @@ struct LocalizerMetrics
         static LocalizerMetrics metrics{
             reg.counter("snowplow.cache.hit"),
             reg.counter("snowplow.cache.miss"),
-            reg.gauge("snowplow.cache.hit_ratio"),
+            reg.gauge("snowplow.cache_hit_ratio"),
             reg.counter("snowplow.async.submitted"),
             reg.counter("snowplow.async.ready_hit"),
             reg.counter("snowplow.async.pending_fallback"),
@@ -101,10 +101,55 @@ buildQueryFor(const kern::Kernel &kernel, const prog::Prog &prog,
 
 }  // namespace
 
+PredictionCache::PredictionCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+bool
+PredictionCache::lookup(uint64_t key, std::vector<mut::ArgLocation> *out)
+{
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (auto it = map_.find(key); it != map_.end()) {
+            hit = true;
+            if (out != nullptr)
+                *out = it->second;
+        }
+    }
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    LocalizerMetrics::get().countLookup(hit);
+    return hit;
+}
+
+void
+PredictionCache::insert(uint64_t key, std::vector<mut::ArgLocation> sites)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.size() >= capacity_ && map_.find(key) == map_.end()) {
+        // Simple wholesale eviction, as the original per-fuzzer cache.
+        evictions_.fetch_add(map_.size(), std::memory_order_relaxed);
+        map_.clear();
+    }
+    map_[key] = std::move(sites);
+}
+
+size_t
+PredictionCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
 PmmLocalizer::PmmLocalizer(const kern::Kernel &kernel, const Pmm &model,
-                           SnowplowOptions opts)
+                           SnowplowOptions opts,
+                           std::shared_ptr<PredictionCache> cache)
     : kernel_(kernel), model_(model), opts_(std::move(opts)),
-      probe_(kernel)  // deterministic probe executor
+      probe_(kernel),  // deterministic probe executor
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<PredictionCache>(
+                         opts_.cache_capacity))
 {
 }
 
@@ -129,15 +174,11 @@ PmmLocalizer::localizeWithResult(const prog::Prog &prog,
     ++model_queries_;
 
     const uint64_t key = prog.hash();
-    auto it = cache_.find(key);
-    LocalizerMetrics::get().countLookup(it != cache_.end());
-    if (it == cache_.end()) {
-        if (cache_.size() >= opts_.cache_capacity)
-            cache_.clear();  // simple wholesale eviction
-        it = cache_.emplace(key, rankSites(prog, result, rng, max_sites))
-                 .first;
+    std::vector<mut::ArgLocation> sites;
+    if (!cache_->lookup(key, &sites)) {
+        sites = rankSites(prog, result, rng, max_sites);
+        cache_->insert(key, sites);
     }
-    auto sites = it->second;
     if (sites.size() > max_sites)
         sites.resize(max_sites);
     if (sites.empty())
@@ -164,9 +205,13 @@ PmmLocalizer::rankSites(const prog::Prog &prog,
 
 AsyncPmmLocalizer::AsyncPmmLocalizer(const kern::Kernel &kernel,
                                      InferenceService &service,
-                                     SnowplowOptions opts)
+                                     SnowplowOptions opts,
+                                     std::shared_ptr<PredictionCache> cache)
     : kernel_(kernel), service_(service), opts_(std::move(opts)),
-      probe_(kernel)
+      probe_(kernel),
+      ready_(cache ? std::move(cache)
+                   : std::make_shared<PredictionCache>(
+                         opts_.cache_capacity))
 {
 }
 
@@ -199,10 +244,10 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
     }
 
     const uint64_t key = prog.hash();
-    if (auto it = ready_.find(key); it != ready_.end()) {
+    if (std::vector<mut::ArgLocation> sites;
+        ready_->lookup(key, &sites)) {
         ++answered_;
         LocalizerMetrics::get().async_ready.inc();
-        auto sites = it->second;
         if (sites.size() > max_sites)
             sites.resize(max_sites);
         if (sites.empty())
@@ -219,9 +264,7 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
                     ? std::vector<mut::ArgLocation>{}
                     : rankFromProbs(probs, it->second.locations,
                                     opts_.threshold, max_sites * 2);
-            if (ready_.size() >= opts_.cache_capacity)
-                ready_.clear();
-            ready_.emplace(key, std::move(sites));
+            ready_->insert(key, std::move(sites));
             pending_.erase(it);
             return localizeWithResult(prog, result, rng, max_sites);
         }
@@ -276,6 +319,50 @@ makeSyzkallerFuzzer(const kern::Kernel &kernel,
     return std::make_unique<fuzz::Fuzzer>(
         kernel, std::move(fuzz_opts),
         std::make_unique<mut::RandomLocalizer>());
+}
+
+std::unique_ptr<fuzz::CampaignEngine>
+makeSnowplowCampaign(const kern::Kernel &kernel, const Pmm &model,
+                     fuzz::CampaignOptions campaign_opts,
+                     SnowplowOptions snowplow_opts)
+{
+    auto cache = std::make_shared<PredictionCache>(
+        snowplow_opts.cache_capacity);
+    auto factory = [&kernel, &model, snowplow_opts,
+                    cache](size_t) -> std::unique_ptr<mut::Localizer> {
+        return std::make_unique<PmmLocalizer>(kernel, model,
+                                              snowplow_opts, cache);
+    };
+    return std::make_unique<fuzz::CampaignEngine>(
+        kernel, std::move(campaign_opts), factory);
+}
+
+std::unique_ptr<fuzz::CampaignEngine>
+makeAsyncSnowplowCampaign(const kern::Kernel &kernel,
+                          InferenceService &service,
+                          fuzz::CampaignOptions campaign_opts,
+                          SnowplowOptions snowplow_opts)
+{
+    auto cache = std::make_shared<PredictionCache>(
+        snowplow_opts.cache_capacity);
+    auto factory = [&kernel, &service, snowplow_opts,
+                    cache](size_t) -> std::unique_ptr<mut::Localizer> {
+        return std::make_unique<AsyncPmmLocalizer>(
+            kernel, service, snowplow_opts, cache);
+    };
+    return std::make_unique<fuzz::CampaignEngine>(
+        kernel, std::move(campaign_opts), factory);
+}
+
+std::unique_ptr<fuzz::CampaignEngine>
+makeSyzkallerCampaign(const kern::Kernel &kernel,
+                      fuzz::CampaignOptions campaign_opts)
+{
+    auto factory = [](size_t) -> std::unique_ptr<mut::Localizer> {
+        return std::make_unique<mut::RandomLocalizer>();
+    };
+    return std::make_unique<fuzz::CampaignEngine>(
+        kernel, std::move(campaign_opts), factory);
 }
 
 }  // namespace sp::core

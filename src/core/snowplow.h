@@ -18,11 +18,14 @@
 #ifndef SP_CORE_SNOWPLOW_H
 #define SP_CORE_SNOWPLOW_H
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/infer.h"
 #include "core/pmm.h"
+#include "fuzz/campaign.h"
 #include "fuzz/fuzzer.h"
 
 namespace sp::core {
@@ -44,6 +47,55 @@ struct SnowplowOptions
     std::vector<uint32_t> directed_targets;
 };
 
+/**
+ * Thread-safe prediction cache: base-program hash → ranked site list
+ * (the model's output for that base). One cache can be shared by every
+ * localizer of a multi-worker campaign so a base ranked by one worker
+ * never costs a second forward pass on another. Eviction is the
+ * historical wholesale clear at capacity. Lookups feed the
+ * `snowplow.cache.hit`/`snowplow.cache.miss` counters and the
+ * `snowplow.cache_hit_ratio` gauge.
+ */
+class PredictionCache
+{
+  public:
+    explicit PredictionCache(size_t capacity);
+
+    /** On hit, copies the cached sites into `out` and returns true. */
+    bool lookup(uint64_t key, std::vector<mut::ArgLocation> *out);
+
+    /** Store `sites` for `key`, clearing the cache first when full. */
+    void insert(uint64_t key, std::vector<mut::ArgLocation> sites);
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** @name Lifetime tallies (lock-free reads) */
+    /** @{ */
+    uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /** Entries dropped by wholesale clears. */
+    uint64_t evictions() const
+    {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    /** @} */
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> map_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evictions_{0};
+};
+
 /** The learned white-box argument localizer. */
 class PmmLocalizer : public mut::Localizer
 {
@@ -53,9 +105,14 @@ class PmmLocalizer : public mut::Localizer
      *                deterministic probe executor)
      * @param model   trained PMM (must outlive the localizer)
      * @param opts    thresholds and fallback behaviour
+     * @param cache   optional shared prediction cache (campaign
+     *                workers pass one cache to every localizer); a
+     *                private cache of `opts.cache_capacity` is created
+     *                when null
      */
     PmmLocalizer(const kern::Kernel &kernel, const Pmm &model,
-                 SnowplowOptions opts = {});
+                 SnowplowOptions opts = {},
+                 std::shared_ptr<PredictionCache> cache = nullptr);
 
     std::vector<mut::ArgLocation> localize(const prog::Prog &prog,
                                            Rng &rng,
@@ -70,6 +127,10 @@ class PmmLocalizer : public mut::Localizer
     uint64_t modelQueries() const { return model_queries_; }
     uint64_t fallbackQueries() const { return fallback_queries_; }
 
+    /** Entries currently in the (possibly shared) prediction cache. */
+    size_t cacheSize() const { return cache_->size(); }
+    const PredictionCache &cache() const { return *cache_; }
+
   private:
     std::vector<mut::ArgLocation>
     rankSites(const prog::Prog &prog, const exec::ExecResult &result,
@@ -81,7 +142,7 @@ class PmmLocalizer : public mut::Localizer
     mut::RandomLocalizer fallback_;
     exec::Executor probe_;  ///< deterministic executor for cold bases
     /** prog hash -> ranked site list (model output cache). */
-    std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> cache_;
+    std::shared_ptr<PredictionCache> cache_;
     /** Encode scratch reused across queries (encodeGraphInto). */
     graph::EncodedGraph encode_scratch_;
     uint64_t model_queries_ = 0;
@@ -104,10 +165,13 @@ class AsyncPmmLocalizer : public mut::Localizer
      * @param kernel   kernel under test
      * @param service  shared inference service (must outlive this)
      * @param opts     thresholds and fallback behaviour
+     * @param cache    optional shared prediction cache for landed
+     *                 results (one per campaign); private when null
      */
     AsyncPmmLocalizer(const kern::Kernel &kernel,
                       InferenceService &service,
-                      SnowplowOptions opts = {});
+                      SnowplowOptions opts = {},
+                      std::shared_ptr<PredictionCache> cache = nullptr);
     ~AsyncPmmLocalizer() override;
 
     std::vector<mut::ArgLocation> localize(const prog::Prog &prog,
@@ -124,6 +188,8 @@ class AsyncPmmLocalizer : public mut::Localizer
     uint64_t submitted() const { return submitted_; }
     uint64_t answeredFromModel() const { return answered_; }
     uint64_t answeredWhilePending() const { return pending_answers_; }
+    /** Entries currently in the (possibly shared) landed cache. */
+    size_t cacheSize() const { return ready_->size(); }
     /** @} */
 
   private:
@@ -138,8 +204,11 @@ class AsyncPmmLocalizer : public mut::Localizer
     SnowplowOptions opts_;
     mut::RandomLocalizer fallback_;
     exec::Executor probe_;
+    /** In-flight queries. Futures are single-consumer, so this map is
+     *  strictly per-localizer (per worker) — only landed results move
+     *  into the shared `ready_` cache. */
     std::unordered_map<uint64_t, PendingQuery> pending_;
-    std::unordered_map<uint64_t, std::vector<mut::ArgLocation>> ready_;
+    std::shared_ptr<PredictionCache> ready_;
     uint64_t submitted_ = 0;
     uint64_t answered_ = 0;
     uint64_t pending_answers_ = 0;
@@ -165,6 +234,32 @@ makeAsyncSnowplowFuzzer(const kern::Kernel &kernel,
 std::unique_ptr<fuzz::Fuzzer>
 makeSyzkallerFuzzer(const kern::Kernel &kernel,
                     fuzz::FuzzOptions fuzz_opts);
+
+/**
+ * @name Multi-worker campaign construction
+ *
+ * The campaign analogs of the fuzzer factories: each worker gets its
+ * own localizer instance (private probe executor and encode scratch)
+ * while the Snowplow variants share one PredictionCache across
+ * workers. At `workers = 1` these reproduce the corresponding
+ * single-threaded fuzzer bit-for-bit.
+ */
+/** @{ */
+std::unique_ptr<fuzz::CampaignEngine>
+makeSnowplowCampaign(const kern::Kernel &kernel, const Pmm &model,
+                     fuzz::CampaignOptions campaign_opts,
+                     SnowplowOptions snowplow_opts = {});
+
+std::unique_ptr<fuzz::CampaignEngine>
+makeAsyncSnowplowCampaign(const kern::Kernel &kernel,
+                          InferenceService &service,
+                          fuzz::CampaignOptions campaign_opts,
+                          SnowplowOptions snowplow_opts = {});
+
+std::unique_ptr<fuzz::CampaignEngine>
+makeSyzkallerCampaign(const kern::Kernel &kernel,
+                      fuzz::CampaignOptions campaign_opts);
+/** @} */
 
 }  // namespace sp::core
 

@@ -67,4 +67,34 @@ Executor::run(const prog::Prog &prog)
     return result;
 }
 
+ExecutorPool::ExecutorPool(const kern::Kernel &kernel,
+                           const ExecOptions &base, size_t count)
+{
+    SP_ASSERT(count > 0, "executor pool needs at least one worker");
+    executors_.reserve(count);
+    for (size_t w = 0; w < count; ++w) {
+        ExecOptions opts = base;
+        opts.noise_seed = splitSeed(base.noise_seed, w);
+        executors_.push_back(std::make_unique<Executor>(kernel, opts));
+    }
+}
+
+uint64_t
+ExecutorPool::totalCallsExecuted() const
+{
+    uint64_t total = 0;
+    for (const auto &executor : executors_)
+        total += executor->callsExecuted();
+    return total;
+}
+
+uint64_t
+ExecutorPool::totalProgramsExecuted() const
+{
+    uint64_t total = 0;
+    for (const auto &executor : executors_)
+        total += executor->programsExecuted();
+    return total;
+}
+
 }  // namespace sp::exec

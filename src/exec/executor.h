@@ -14,6 +14,7 @@
 #ifndef SP_EXEC_EXECUTOR_H
 #define SP_EXEC_EXECUTOR_H
 
+#include <memory>
 #include <vector>
 
 #include "exec/coverage.h"
@@ -76,6 +77,37 @@ class Executor
     Rng noise_;
     uint64_t calls_executed_ = 0;
     uint64_t programs_executed_ = 0;
+};
+
+/**
+ * A bank of executors, one per campaign worker. Executor 0 runs with
+ * `base` verbatim (its noise stream is bit-for-bit the single-executor
+ * stream), every other executor gets a noise seed split from the base
+ * seed so concurrent workers draw decorrelated noise. Each worker must
+ * use only its own executor; the pool itself is immutable after
+ * construction.
+ */
+class ExecutorPool
+{
+  public:
+    ExecutorPool(const kern::Kernel &kernel, const ExecOptions &base,
+                 size_t count);
+
+    Executor &at(size_t worker) { return *executors_[worker]; }
+    const Executor &at(size_t worker) const
+    {
+        return *executors_[worker];
+    }
+    size_t size() const { return executors_.size(); }
+
+    /** @name Pool-wide throughput tallies (quiescent reads) */
+    /** @{ */
+    uint64_t totalCallsExecuted() const;
+    uint64_t totalProgramsExecuted() const;
+    /** @} */
+
+  private:
+    std::vector<std::unique_ptr<Executor>> executors_;
 };
 
 }  // namespace sp::exec

@@ -1,0 +1,473 @@
+#include "fuzz/campaign.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "prog/gen.h"
+#include "util/logging.h"
+
+namespace sp::fuzz {
+
+namespace {
+
+const char *
+laneName(MutationLane lane)
+{
+    switch (lane) {
+      case MutationLane::Seed:
+        return "seed";
+      case MutationLane::Argument:
+        return "arg";
+      case MutationLane::Structural:
+        return "structural";
+    }
+    return "?";
+}
+
+/** Registry handles for the fuzz-loop counters (looked up once). */
+struct FuzzMetrics
+{
+    obs::Counter &execs;
+    obs::Counter &arg_mutants;
+    obs::Counter &arg_admitted;
+    obs::Counter &structural_mutants;
+    obs::Counter &structural_admitted;
+    obs::Counter &seed_programs;
+
+    static FuzzMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static FuzzMetrics metrics{
+            reg.counter("fuzz.execs"),
+            reg.counter("fuzz.mutants.arg"),
+            reg.counter("fuzz.mutants.arg_admitted"),
+            reg.counter("fuzz.mutants.structural"),
+            reg.counter("fuzz.mutants.structural_admitted"),
+            reg.counter("fuzz.seed_programs"),
+        };
+        return metrics;
+    }
+};
+
+uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/**
+ * Checkpoint stage. Runs in the worker that executed the slot
+ * completing a grid boundary; that worker waits for every earlier slot
+ * to finish and for every earlier checkpoint to be emitted, then
+ * snapshots the campaign. The wait makes each checkpoint a consistent
+ * prefix snapshot, so the timeline is monotone no matter how slots
+ * interleaved across workers.
+ */
+void
+maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
+{
+    detail::CampaignShared &shared = *env.shared;
+    const uint64_t every = shared.opts->checkpoint_every;
+    if (slot % every != 0)
+        return;
+    const uint64_t target = slot / every - shared.board_base - 1;
+
+    if (shared.ledger->completed() < slot ||
+        shared.checkpoints_done.load(std::memory_order_acquire) !=
+            target) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        while (shared.ledger->completed() < slot ||
+               shared.checkpoints_done.load(std::memory_order_acquire) !=
+                   target) {
+            std::this_thread::yield();
+        }
+        env.wait_us += microsSince(wait_start);
+    }
+
+    Checkpoint cp;
+    cp.execs = slot;
+    cp.edges = shared.corpus->edgeCount();
+    cp.blocks = shared.corpus->blockCount();
+    cp.crashes = shared.crashes->uniqueCrashes();
+    shared.board.push_back(cp);
+
+    if (obs::timingEnabled()) {
+        static obs::Histogram &delta_hist =
+            obs::Registry::global().histogram(
+                "fuzz.checkpoint.edge_delta");
+        delta_hist.record(
+            static_cast<double>(cp.edges - shared.last_checkpoint_edges));
+    }
+    if (auto *sink = obs::sink()) {
+        sink->event(
+            "coverage_checkpoint",
+            {{"execs", cp.execs},
+             {"edges", cp.edges},
+             {"blocks", cp.blocks},
+             {"crashes", cp.crashes},
+             {"edge_delta", cp.edges - shared.last_checkpoint_edges},
+             {"corpus_size", shared.corpus->size()}});
+    }
+    shared.last_checkpoint_edges = cp.edges;
+    shared.checkpoints_done.store(target + 1, std::memory_order_release);
+}
+
+/**
+ * Execute + triage/admit stages for one mutant. Claims one virtual-time
+ * slot (after instantiation, so a stale site never wastes budget),
+ * runs the program, records crashes, offers it to the corpus, tallies
+ * and traces the outcome, then retires the slot and runs the checkpoint
+ * stage. Returns false when no slot could be claimed (budget spent).
+ */
+bool
+executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
+            MutationLane lane, const mut::ArgLocation *site,
+            bool bounded)
+{
+    detail::CampaignShared &shared = *env.shared;
+    const BudgetGrant grant = shared.ledger->claim(1, bounded);
+    if (grant.empty())
+        return false;
+    const uint64_t slot = grant.begin + 1;  // 1-based execution number
+
+    auto result = env.executor->run(program);
+    ++env.local_execs;
+    if (env.execs_out != nullptr)
+        *env.execs_out = slot;
+    if (result.crashed)
+        shared.crashes->record(result.bug_index, program, slot);
+    size_t new_edges = 0;
+    const bool admitted =
+        shared.corpus->maybeAdd(program, result, slot, &new_edges);
+
+    detail::LaneTally &tally = shared.lanes[laneIndex(lane)];
+    tally.produced.fetch_add(1, std::memory_order_relaxed);
+    if (admitted)
+        tally.admitted.fetch_add(1, std::memory_order_relaxed);
+
+    FuzzMetrics &metrics = FuzzMetrics::get();
+    metrics.execs.inc();
+    switch (lane) {
+      case MutationLane::Seed:
+        metrics.seed_programs.inc();
+        break;
+      case MutationLane::Argument:
+        metrics.arg_mutants.inc();
+        if (admitted)
+            metrics.arg_admitted.inc();
+        break;
+      case MutationLane::Structural:
+        metrics.structural_mutants.inc();
+        if (admitted)
+            metrics.structural_admitted.inc();
+        break;
+    }
+    if (auto *sink = obs::sink()) {
+        sink->event(
+            "mutation_outcome",
+            {{"execs", slot},
+             {"lane", laneName(lane)},
+             {"calls", program.calls.size()},
+             {"admitted", admitted},
+             {"crashed", result.crashed},
+             {"new_edges", new_edges},
+             {"site_call",
+              site ? static_cast<int64_t>(site->call_index)
+                   : int64_t{-1}}});
+    }
+    shared.ledger->complete(1);
+    maybeEmitCheckpoint(env, slot);
+    return true;
+}
+
+}  // namespace
+
+exec::ExecOptions
+execOptionsFor(const FuzzOptions &opts)
+{
+    exec::ExecOptions exec_opts;
+    exec_opts.deterministic = !opts.noisy;
+    exec_opts.noise_seed = opts.seed ^ 0xabcdef;
+    return exec_opts;
+}
+
+std::shared_ptr<Scheduler>
+makeScheduler(const FuzzOptions &opts)
+{
+    if (opts.scheduler)
+        return opts.scheduler;
+    if (opts.choose_test)
+        return std::make_shared<HookScheduler>(opts.choose_test);
+    return std::make_shared<RecencyScheduler>();
+}
+
+namespace detail {
+
+void
+seedStage(WorkerEnv &env, const kern::Kernel &kernel)
+{
+    const FuzzOptions &opts = *env.shared->opts;
+    auto seeds = prog::generateCorpus(*env.rng, kernel.table(),
+                                      opts.seed_corpus_size,
+                                      opts.mutator.gen);
+    for (const auto &seed : seeds)
+        executeSlot(env, seed, MutationLane::Seed, nullptr,
+                    /*bounded=*/false);
+}
+
+void
+workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
+{
+    const auto loop_start = std::chrono::steady_clock::now();
+    CampaignShared &shared = *env.shared;
+    const FuzzOptions &opts = *shared.opts;
+    BudgetLedger &ledger = *shared.ledger;
+
+    while (!ledger.exhausted() && !shared.stopped()) {
+        if (shared.corpus->empty()) {
+            // Everything crashed at seed time; regenerate. Concurrent
+            // workers may all reseed here — harmless duplicated work in
+            // an already-pathological campaign.
+            seedStage(env, kernel);
+            continue;
+        }
+        // Schedule stage. Copy the picked entry out: base references
+        // into the corpus shouldn't be held across mutant executions.
+        prog::Prog base_program;
+        exec::ExecResult base_result;
+        {
+            const CorpusEntry &picked =
+                env.scheduler->pick(*shared.corpus, *env.rng);
+            base_program.calls = picked.program.calls;
+            base_result = picked.result;
+        }
+
+        // Localize stage, then instantiate + execute per site. The
+        // base program is copied once per instantiated mutant.
+        auto sites = env.localizer->localizeWithResult(
+            base_program, base_result, *env.rng,
+            opts.max_sites_per_base);
+        for (const auto &site : sites) {
+            for (size_t m = 0;
+                 m < opts.mutations_per_site && !ledger.exhausted();
+                 ++m) {
+                prog::Prog mutant;
+                mutant.calls = base_program.calls;
+                if (!env.mutator->instantiateArgMutation(mutant, site,
+                                                         *env.rng))
+                    break;
+                executeSlot(env, mutant, MutationLane::Argument, &site,
+                            /*bounded=*/true);
+            }
+            if (ledger.exhausted() || shared.stopped())
+                break;
+        }
+
+        // Structural mutations (insertion/removal) with their own
+        // selector weights — the "existing random mutators" lane.
+        for (size_t s = 0; s < opts.structural_mutations_per_base &&
+                           !ledger.exhausted();
+             ++s) {
+            prog::Prog mutant;
+            mutant.calls = base_program.calls;
+            switch (env.mutator->selectType(*env.rng, mutant)) {
+              case mut::MutationType::ArgumentMutation: {
+                // Selector landed on arguments: one random-site mutant
+                // (the fallback lane even when a learned localizer is
+                // installed, §3.4).
+                mut::RandomLocalizer fallback;
+                auto fallback_sites =
+                    fallback.localize(mutant, *env.rng, 1);
+                if (!fallback_sites.empty()) {
+                    env.mutator->instantiateArgMutation(
+                        mutant, fallback_sites[0], *env.rng);
+                }
+                break;
+              }
+              case mut::MutationType::CallInsertion:
+                env.mutator->insertCall(mutant, *env.rng);
+                break;
+              case mut::MutationType::CallRemoval:
+                env.mutator->removeCall(mutant, *env.rng);
+                break;
+            }
+            executeSlot(env, mutant, MutationLane::Structural, nullptr,
+                        /*bounded=*/true);
+        }
+    }
+    env.wall_us += microsSince(loop_start);
+}
+
+FuzzReport
+finalizeCampaign(const CampaignShared &shared,
+                 const std::vector<Checkpoint> &timeline,
+                 uint64_t total_execs, uint64_t campaign_execs,
+                 double wall_sec, size_t workers)
+{
+    FuzzReport report;
+    report.timeline = timeline;
+    report.final_edges = shared.corpus->totalCoverage().edgeCount();
+    report.final_blocks = shared.corpus->totalCoverage().blockCount();
+    report.execs = total_execs;
+    report.corpus_size = shared.corpus->size();
+    report.final_crashes = shared.crashes->uniqueCrashes();
+    for (size_t lane = 0; lane < kMutationLanes; ++lane) {
+        report.lanes[lane].produced =
+            shared.lanes[lane].produced.load(std::memory_order_relaxed);
+        report.lanes[lane].admitted =
+            shared.lanes[lane].admitted.load(std::memory_order_relaxed);
+    }
+
+    const double execs_per_sec =
+        wall_sec > 0.0 ? static_cast<double>(campaign_execs) / wall_sec
+                       : 0.0;
+    FuzzMetrics &metrics = FuzzMetrics::get();
+    auto rate = [](const obs::Counter &hit, const obs::Counter &total) {
+        return total.value() == 0
+                   ? 0.0
+                   : static_cast<double>(hit.value()) /
+                         static_cast<double>(total.value());
+    };
+    auto &reg = obs::Registry::global();
+    reg.gauge("fuzz.execs_per_sec").set(execs_per_sec);
+    reg.gauge("fuzz.mutant_success.arg")
+        .set(rate(metrics.arg_admitted, metrics.arg_mutants));
+    reg.gauge("fuzz.mutant_success.structural")
+        .set(rate(metrics.structural_admitted,
+                  metrics.structural_mutants));
+    if (auto *sink = obs::sink()) {
+        sink->event(
+            "campaign_summary",
+            {{"execs", campaign_execs},
+             {"wall_sec", wall_sec},
+             {"execs_per_sec", execs_per_sec},
+             {"final_edges", report.final_edges},
+             {"final_blocks", report.final_blocks},
+             {"corpus_size", report.corpus_size},
+             {"unique_crashes", report.final_crashes},
+             {"arg_mutants", metrics.arg_mutants.value()},
+             {"structural_mutants", metrics.structural_mutants.value()},
+             {"workers", workers},
+             {"admitted_seed",
+              report.lane(MutationLane::Seed).admitted},
+             {"admitted_arg",
+              report.lane(MutationLane::Argument).admitted},
+             {"admitted_structural",
+              report.lane(MutationLane::Structural).admitted}});
+    }
+    return report;
+}
+
+}  // namespace detail
+
+namespace {
+
+CampaignOptions
+normalized(CampaignOptions options)
+{
+    if (options.workers == 0)
+        options.workers = 1;
+    return options;
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(const kern::Kernel &kernel,
+                               CampaignOptions options,
+                               LocalizerFactory make_localizer)
+    : kernel_(kernel), opts_(normalized(std::move(options))),
+      scheduler_(makeScheduler(opts_.fuzz)),
+      mutator_(kernel.table(), opts_.fuzz.mutator),
+      executors_(kernel, execOptionsFor(opts_.fuzz), opts_.workers),
+      corpus_(opts_.workers), crashes_(kernel)
+{
+    SP_ASSERT(make_localizer != nullptr,
+              "campaign engine needs a localizer factory");
+    rngs_.reserve(opts_.workers);
+    localizers_.reserve(opts_.workers);
+    for (size_t w = 0; w < opts_.workers; ++w) {
+        // Worker 0's stream is the campaign seed itself, so a 1-worker
+        // campaign draws exactly like the legacy Fuzzer.
+        rngs_.push_back(
+            std::make_unique<Rng>(splitSeed(opts_.fuzz.seed, w)));
+        auto localizer = make_localizer(w);
+        SP_ASSERT(localizer != nullptr,
+                  "localizer factory returned null for worker %zu", w);
+        localizers_.push_back(std::move(localizer));
+    }
+}
+
+FuzzReport
+CampaignEngine::run()
+{
+    SP_ASSERT(!ran_, "CampaignEngine::run is one-shot");
+    ran_ = true;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    detail::CampaignShared shared;
+    shared.opts = &opts_.fuzz;
+    shared.corpus = &corpus_;
+    shared.crashes = &crashes_;
+    BudgetLedger ledger(opts_.fuzz.exec_budget,
+                        opts_.fuzz.checkpoint_every);
+    shared.ledger = &ledger;
+
+    std::vector<detail::WorkerEnv> envs(opts_.workers);
+    for (size_t w = 0; w < opts_.workers; ++w) {
+        detail::WorkerEnv &env = envs[w];
+        env.shared = &shared;
+        env.worker_id = w;
+        env.rng = rngs_[w].get();
+        env.executor = &executors_.at(w);
+        env.mutator = &mutator_;
+        env.localizer = localizers_[w].get();
+        env.scheduler = scheduler_.get();
+    }
+
+    // Seed stage: worker 0, on the calling thread, before any worker
+    // thread exists — the generated corpus and its admission order are
+    // deterministic regardless of worker count.
+    if (corpus_.empty())
+        detail::seedStage(envs[0], kernel_);
+
+    // Mutation stages: workers 1..N-1 on threads, worker 0 here (a
+    // 1-worker campaign therefore never spawns a thread).
+    std::vector<std::thread> threads;
+    threads.reserve(opts_.workers - 1);
+    for (size_t w = 1; w < opts_.workers; ++w) {
+        threads.emplace_back(
+            [this, &envs, w] { detail::workerLoop(envs[w], kernel_); });
+    }
+    detail::workerLoop(envs[0], kernel_);
+    for (auto &thread : threads)
+        thread.join();
+
+    auto &reg = obs::Registry::global();
+    for (size_t w = 0; w < opts_.workers; ++w) {
+        const detail::WorkerEnv &env = envs[w];
+        const double busy =
+            env.wall_us > 0
+                ? static_cast<double>(env.wall_us - env.wait_us) /
+                      static_cast<double>(env.wall_us)
+                : 0.0;
+        reg.gauge(obs::workerMetric("fuzz.worker_busy_ratio", w))
+            .set(busy);
+    }
+
+    const double wall_sec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    return detail::finalizeCampaign(shared, shared.board,
+                                    ledger.completed(),
+                                    ledger.completed(), wall_sec,
+                                    opts_.workers);
+}
+
+}  // namespace sp::fuzz

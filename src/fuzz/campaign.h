@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The staged campaign runtime (Figure 1 as an explicit pipeline).
+ *
+ * The monolithic fuzz loop is decomposed into stages —
+ *
+ *     schedule → localize → instantiate → execute → triage/admit
+ *              → checkpoint
+ *
+ * — run by one or more workers over shared campaign state. The legacy
+ * single-threaded `Fuzzer` (fuzzer.h) drives exactly one worker over
+ * these stages; `CampaignEngine` runs N of them on threads:
+ *
+ *  - the Corpus is sharded (one shard per worker) and thread-safe;
+ *  - each worker owns a deterministic RNG stream split from the
+ *    campaign seed (worker 0's stream IS the campaign seed, so a
+ *    1-worker engine is bit-for-bit the legacy loop), its own
+ *    executor from an exec::ExecutorPool, and its own localizer
+ *    (built by a per-worker factory so learned localizers can share
+ *    one InferenceService and one prediction cache);
+ *  - virtual time is a shared BudgetLedger claimed in
+ *    checkpoint-aligned grants, so the coverage timeline lands on the
+ *    same fixed execution grid regardless of worker count; and
+ *  - checkpoints are emitted in order by the worker that executed the
+ *    slot completing each grid boundary, after waiting for every
+ *    earlier slot to finish, which keeps the timeline monotone.
+ */
+#ifndef SP_FUZZ_CAMPAIGN_H
+#define SP_FUZZ_CAMPAIGN_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/sched.h"
+
+namespace sp::fuzz {
+
+/** Execution options the fuzz loop derives from its own options. */
+exec::ExecOptions execOptionsFor(const FuzzOptions &opts);
+
+/**
+ * Build the effective scheduler for `opts`: `opts.scheduler` if set,
+ * a HookScheduler over `opts.choose_test` if set, else the
+ * recency-biased default.
+ */
+std::shared_ptr<Scheduler> makeScheduler(const FuzzOptions &opts);
+
+namespace detail {
+
+/** Per-lane tallies shared by every worker of one campaign. */
+struct LaneTally
+{
+    std::atomic<uint64_t> produced{0};
+    std::atomic<uint64_t> admitted{0};
+};
+
+/**
+ * State shared by every worker of one campaign run (for the legacy
+ * Fuzzer, the "campaign" is one runUntil call with a single worker).
+ */
+struct CampaignShared
+{
+    const FuzzOptions *opts = nullptr;
+    Corpus *corpus = nullptr;
+    CrashLog *crashes = nullptr;
+    BudgetLedger *ledger = nullptr;
+    LaneTally lanes[kMutationLanes];
+
+    /** Checkpoints appended strictly in grid order (see emit logic). */
+    std::vector<Checkpoint> board;
+    /** Checkpoints emitted so far (board.size(), published). */
+    std::atomic<uint64_t> checkpoints_done{0};
+    /** Grid ordinal of board[0] (non-zero on legacy fuzzer reruns). */
+    uint64_t board_base = 0;
+    /** Edge count at the previous checkpoint (telemetry deltas); only
+     *  the in-order checkpoint owner touches it. */
+    size_t last_checkpoint_edges = 0;
+
+    /** Optional stop predicate (legacy runUntil); empty = never. */
+    std::function<bool()> stop;
+
+    bool
+    stopped() const
+    {
+        return stop && stop();
+    }
+};
+
+/** One worker's private slice of the campaign. */
+struct WorkerEnv
+{
+    CampaignShared *shared = nullptr;
+    size_t worker_id = 0;
+    Rng *rng = nullptr;
+    exec::Executor *executor = nullptr;
+    const mut::Mutator *mutator = nullptr;
+    mut::Localizer *localizer = nullptr;
+    Scheduler *scheduler = nullptr;
+    /** Mirror of the execution counter (legacy Fuzzer::execs_). */
+    uint64_t *execs_out = nullptr;
+
+    /** @name Filled in by the loop (worker telemetry) */
+    /** @{ */
+    uint64_t local_execs = 0;  ///< slots this worker executed
+    uint64_t wait_us = 0;      ///< time spent in checkpoint barriers
+    uint64_t wall_us = 0;      ///< workerLoop wall time
+    /** @} */
+};
+
+/**
+ * Seed stage: generate `seed_corpus_size` programs from the worker's
+ * RNG and execute them (unbounded claims — the legacy loop seeds its
+ * whole corpus even when the budget is smaller).
+ */
+void seedStage(WorkerEnv &env, const kern::Kernel &kernel);
+
+/** The staged mutation pipeline; returns when the budget is spent or
+ *  the campaign's stop predicate fires. */
+void workerLoop(WorkerEnv &env, const kern::Kernel &kernel);
+
+/**
+ * Assemble the FuzzReport, set the end-of-run gauges and emit the
+ * `campaign_summary` telemetry event (with final crash and per-lane
+ * admission totals). `timeline` is the full campaign timeline,
+ * `campaign_execs` the executions of this run, `wall_sec` its
+ * wall-clock duration.
+ */
+FuzzReport finalizeCampaign(const CampaignShared &shared,
+                            const std::vector<Checkpoint> &timeline,
+                            uint64_t total_execs,
+                            uint64_t campaign_execs, double wall_sec,
+                            size_t workers);
+
+}  // namespace detail
+
+/** Campaign-engine configuration. */
+struct CampaignOptions
+{
+    /** Worker threads; 1 reproduces the legacy loop bit-for-bit. */
+    size_t workers = 1;
+    FuzzOptions fuzz;
+};
+
+/**
+ * Runs one fuzzing campaign over N staged workers. One-shot: construct,
+ * run(), then inspect corpus()/crashes().
+ */
+class CampaignEngine
+{
+  public:
+    /** Builds the localizer of one worker (called once per worker at
+     *  construction time, on the constructing thread). */
+    using LocalizerFactory =
+        std::function<std::unique_ptr<mut::Localizer>(size_t worker)>;
+
+    CampaignEngine(const kern::Kernel &kernel, CampaignOptions options,
+                   LocalizerFactory make_localizer);
+
+    /** Run the campaign to budget exhaustion. Call at most once. */
+    FuzzReport run();
+
+    /** @name Introspection (quiescent: before run() or after) */
+    /** @{ */
+    const Corpus &corpus() const { return corpus_; }
+    CrashLog &crashes() { return crashes_; }
+    const CrashLog &crashes() const { return crashes_; }
+    const kern::Kernel &kernel() const { return kernel_; }
+    size_t workerCount() const { return opts_.workers; }
+    /** @} */
+
+  private:
+    const kern::Kernel &kernel_;
+    CampaignOptions opts_;
+    std::shared_ptr<Scheduler> scheduler_;
+    mut::Mutator mutator_;
+    exec::ExecutorPool executors_;
+    Corpus corpus_;
+    CrashLog crashes_;
+    std::vector<std::unique_ptr<Rng>> rngs_;
+    std::vector<std::unique_ptr<mut::Localizer>> localizers_;
+    bool ran_ = false;
+};
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_CAMPAIGN_H

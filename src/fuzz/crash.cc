@@ -17,6 +17,7 @@ void
 CrashLog::record(uint32_t bug_index, const prog::Prog &trigger,
                  uint64_t exec_counter)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = by_bug_.find(bug_index);
     if (it != by_bug_.end()) {
         ++records_[it->second].hit_count;
@@ -56,6 +57,7 @@ CrashLog::record(uint32_t bug_index, const prog::Prog &trigger,
     record.trigger.calls = trigger.calls;  // deep copy
     by_bug_.emplace(bug_index, records_.size());
     records_.push_back(std::move(record));
+    unique_count_.store(records_.size(), std::memory_order_release);
 }
 
 bool

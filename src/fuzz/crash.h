@@ -13,7 +13,9 @@
 #ifndef SP_FUZZ_CRASH_H
 #define SP_FUZZ_CRASH_H
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -49,13 +51,18 @@ struct ReproOptions
     uint64_t noise_seed = 0x5eed;
 };
 
-/** Dedup store of crashes found by one campaign. */
+/**
+ * Dedup store of crashes found by one campaign. `record` and
+ * `uniqueCrashes` are thread-safe (campaign workers triage
+ * concurrently); every other accessor expects a quiescent log
+ * (post-join reporting, reproduction).
+ */
 class CrashLog
 {
   public:
     explicit CrashLog(const kern::Kernel &kernel);
 
-    /** Record a crash observation; dedups by bug site. */
+    /** Record a crash observation; dedups by bug site. Thread-safe. */
     void record(uint32_t bug_index, const prog::Prog &trigger,
                 uint64_t exec_counter);
 
@@ -69,7 +76,11 @@ class CrashLog
 
     /** @name Tally helpers (Tables 2 and 3) */
     /** @{ */
-    size_t uniqueCrashes() const { return records_.size(); }
+    /** Deduplicated crash count. Thread-safe (lock-free read). */
+    size_t uniqueCrashes() const
+    {
+        return unique_count_.load(std::memory_order_acquire);
+    }
     size_t newCrashes() const;
     size_t knownCrashes() const;
     size_t reproducedCrashes() const;
@@ -84,8 +95,10 @@ class CrashLog
                        const ReproOptions &opts, uint64_t salt) const;
 
     const kern::Kernel &kernel_;
+    mutable std::mutex mu_;  ///< guards records_ and by_bug_ mutation
     std::vector<CrashRecord> records_;
     std::unordered_map<uint32_t, size_t> by_bug_;
+    std::atomic<size_t> unique_count_{0};
 };
 
 }  // namespace sp::fuzz

@@ -2,162 +2,20 @@
 
 #include <chrono>
 
-#include "obs/metrics.h"
-#include "obs/telemetry.h"
-#include "prog/gen.h"
+#include "fuzz/campaign.h"
 #include "util/logging.h"
 
 namespace sp::fuzz {
 
-namespace {
-
-exec::ExecOptions
-execOptionsFor(const FuzzOptions &opts)
-{
-    exec::ExecOptions exec_opts;
-    exec_opts.deterministic = !opts.noisy;
-    exec_opts.noise_seed = opts.seed ^ 0xabcdef;
-    return exec_opts;
-}
-
-const char *
-laneName(MutationLane lane)
-{
-    switch (lane) {
-      case MutationLane::Seed:
-        return "seed";
-      case MutationLane::Argument:
-        return "arg";
-      case MutationLane::Structural:
-        return "structural";
-    }
-    return "?";
-}
-
-/** Registry handles for the fuzz-loop counters (looked up once). */
-struct FuzzMetrics
-{
-    obs::Counter &execs;
-    obs::Counter &arg_mutants;
-    obs::Counter &arg_admitted;
-    obs::Counter &structural_mutants;
-    obs::Counter &structural_admitted;
-    obs::Counter &seed_programs;
-
-    static FuzzMetrics &
-    get()
-    {
-        auto &reg = obs::Registry::global();
-        static FuzzMetrics metrics{
-            reg.counter("fuzz.execs"),
-            reg.counter("fuzz.mutants.arg"),
-            reg.counter("fuzz.mutants.arg_admitted"),
-            reg.counter("fuzz.mutants.structural"),
-            reg.counter("fuzz.mutants.structural_admitted"),
-            reg.counter("fuzz.seed_programs"),
-        };
-        return metrics;
-    }
-};
-
-}  // namespace
-
 Fuzzer::Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
                std::unique_ptr<mut::Localizer> localizer)
     : kernel_(kernel), opts_(std::move(options)),
-      localizer_(std::move(localizer)),
+      localizer_(std::move(localizer)), scheduler_(makeScheduler(opts_)),
       mutator_(kernel.table(), opts_.mutator),
       executor_(kernel, execOptionsFor(opts_)), crashes_(kernel),
       rng_(opts_.seed)
 {
     SP_ASSERT(localizer_ != nullptr, "fuzzer needs a localizer");
-}
-
-void
-Fuzzer::executeOne(const prog::Prog &program, MutationLane lane,
-                   const mut::ArgLocation *site)
-{
-    const size_t edges_before = corpus_.totalCoverage().edgeCount();
-    auto result = executor_.run(program);
-    ++execs_;
-    if (result.crashed)
-        crashes_.record(result.bug_index, program, execs_);
-    const bool admitted = corpus_.maybeAdd(program, result, execs_);
-    const size_t new_edges =
-        corpus_.totalCoverage().edgeCount() - edges_before;
-
-    FuzzMetrics &metrics = FuzzMetrics::get();
-    metrics.execs.inc();
-    switch (lane) {
-      case MutationLane::Seed:
-        metrics.seed_programs.inc();
-        break;
-      case MutationLane::Argument:
-        metrics.arg_mutants.inc();
-        if (admitted)
-            metrics.arg_admitted.inc();
-        break;
-      case MutationLane::Structural:
-        metrics.structural_mutants.inc();
-        if (admitted)
-            metrics.structural_admitted.inc();
-        break;
-    }
-    if (auto *sink = obs::sink()) {
-        sink->event(
-            "mutation_outcome",
-            {{"execs", execs_},
-             {"lane", laneName(lane)},
-             {"calls", program.calls.size()},
-             {"admitted", admitted},
-             {"crashed", result.crashed},
-             {"new_edges", new_edges},
-             {"site_call",
-              site ? static_cast<int64_t>(site->call_index)
-                   : int64_t{-1}}});
-    }
-    maybeCheckpoint();
-}
-
-void
-Fuzzer::maybeCheckpoint()
-{
-    if (execs_ % opts_.checkpoint_every != 0)
-        return;
-    Checkpoint cp;
-    cp.execs = execs_;
-    cp.edges = corpus_.totalCoverage().edgeCount();
-    cp.blocks = corpus_.totalCoverage().blockCount();
-    cp.crashes = crashes_.uniqueCrashes();
-    timeline_.push_back(cp);
-
-    if (obs::timingEnabled()) {
-        static obs::Histogram &delta_hist =
-            obs::Registry::global().histogram(
-                "fuzz.checkpoint.edge_delta");
-        delta_hist.record(
-            static_cast<double>(cp.edges - last_checkpoint_edges_));
-    }
-    if (auto *sink = obs::sink()) {
-        sink->event("coverage_checkpoint",
-                    {{"execs", cp.execs},
-                     {"edges", cp.edges},
-                     {"blocks", cp.blocks},
-                     {"crashes", cp.crashes},
-                     {"edge_delta", cp.edges - last_checkpoint_edges_},
-                     {"corpus_size", corpus_.size()}});
-    }
-    last_checkpoint_edges_ = cp.edges;
-}
-
-void
-Fuzzer::seedCorpus()
-{
-    auto seeds = prog::generateCorpus(rng_, kernel_.table(),
-                                      opts_.seed_corpus_size,
-                                      opts_.mutator.gen);
-    for (const auto &seed : seeds)
-        executeOne(seed, MutationLane::Seed);
 }
 
 FuzzReport
@@ -172,121 +30,45 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
     const auto wall_start = std::chrono::steady_clock::now();
     const uint64_t execs_start = execs_;
 
+    // One campaign run of the staged pipeline (campaign.h) with a
+    // single worker on the calling thread. The worker borrows the
+    // fuzzer's long-lived corpus, crash log, RNG and executor so
+    // repeated runUntil calls continue where the last one stopped.
+    detail::CampaignShared shared;
+    shared.opts = &opts_;
+    shared.corpus = &corpus_;
+    shared.crashes = &crashes_;
+    BudgetLedger ledger(opts_.exec_budget, opts_.checkpoint_every,
+                        execs_);
+    shared.ledger = &ledger;
+    shared.board_base = execs_ / opts_.checkpoint_every;
+    shared.last_checkpoint_edges = last_checkpoint_edges_;
+    shared.stop = [this, &stop] { return stop(*this); };
+
+    detail::WorkerEnv env;
+    env.shared = &shared;
+    env.worker_id = 0;
+    env.rng = &rng_;
+    env.executor = &executor_;
+    env.mutator = &mutator_;
+    env.localizer = localizer_.get();
+    env.scheduler = scheduler_.get();
+    env.execs_out = &execs_;
+
     if (corpus_.empty())
-        seedCorpus();
+        detail::seedStage(env, kernel_);
+    detail::workerLoop(env, kernel_);
 
-    while (execs_ < opts_.exec_budget && !stop(*this)) {
-        if (corpus_.empty()) {
-            // Everything crashed at seed time; regenerate.
-            seedCorpus();
-            continue;
-        }
-        // Copy the picked entry out: executing mutants below can grow
-        // the corpus vector and invalidate references into it.
-        prog::Prog base_program;
-        exec::ExecResult base_result;
-        {
-            const CorpusEntry &picked =
-                opts_.choose_test ? opts_.choose_test(corpus_, rng_)
-                                  : corpus_.pick(rng_);
-            base_program.calls = picked.program.calls;
-            base_result = picked.result;
-        }
-
-        // Argument mutations at localized sites. The base program is
-        // copied once per instantiated mutant.
-        auto sites = localizer_->localizeWithResult(
-            base_program, base_result, rng_, opts_.max_sites_per_base);
-        for (const auto &site : sites) {
-            for (size_t m = 0;
-                 m < opts_.mutations_per_site &&
-                 execs_ < opts_.exec_budget;
-                 ++m) {
-                prog::Prog mutant;
-                mutant.calls = base_program.calls;
-                if (!mutator_.instantiateArgMutation(mutant, site, rng_))
-                    break;
-                executeOne(mutant, MutationLane::Argument, &site);
-            }
-            if (execs_ >= opts_.exec_budget || stop(*this))
-                break;
-        }
-
-        // Structural mutations (insertion/removal) with their own
-        // selector weights — the "existing random mutators" lane.
-        for (size_t s = 0; s < opts_.structural_mutations_per_base &&
-                           execs_ < opts_.exec_budget;
-             ++s) {
-            prog::Prog mutant;
-            mutant.calls = base_program.calls;
-            switch (mutator_.selectType(rng_, mutant)) {
-              case mut::MutationType::ArgumentMutation: {
-                // Selector landed on arguments: one random-site mutant
-                // (the fallback lane even when a learned localizer is
-                // installed, §3.4).
-                mut::RandomLocalizer fallback;
-                auto fallback_sites =
-                    fallback.localize(mutant, rng_, 1);
-                if (!fallback_sites.empty()) {
-                    mutator_.instantiateArgMutation(
-                        mutant, fallback_sites[0], rng_);
-                }
-                break;
-              }
-              case mut::MutationType::CallInsertion:
-                mutator_.insertCall(mutant, rng_);
-                break;
-              case mut::MutationType::CallRemoval:
-                mutator_.removeCall(mutant, rng_);
-                break;
-            }
-            executeOne(mutant, MutationLane::Structural);
-        }
-    }
-
-    FuzzReport report;
-    report.timeline = timeline_;
-    report.final_edges = corpus_.totalCoverage().edgeCount();
-    report.final_blocks = corpus_.totalCoverage().blockCount();
-    report.execs = execs_;
-    report.corpus_size = corpus_.size();
+    last_checkpoint_edges_ = shared.last_checkpoint_edges;
+    timeline_.insert(timeline_.end(), shared.board.begin(),
+                     shared.board.end());
 
     const double wall_sec =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
-    const uint64_t campaign_execs = execs_ - execs_start;
-    const double execs_per_sec =
-        wall_sec > 0.0 ? static_cast<double>(campaign_execs) / wall_sec
-                       : 0.0;
-    FuzzMetrics &metrics = FuzzMetrics::get();
-    auto rate = [](const obs::Counter &hit, const obs::Counter &total) {
-        return total.value() == 0
-                   ? 0.0
-                   : static_cast<double>(hit.value()) /
-                         static_cast<double>(total.value());
-    };
-    auto &reg = obs::Registry::global();
-    reg.gauge("fuzz.execs_per_sec").set(execs_per_sec);
-    reg.gauge("fuzz.mutant_success.arg")
-        .set(rate(metrics.arg_admitted, metrics.arg_mutants));
-    reg.gauge("fuzz.mutant_success.structural")
-        .set(rate(metrics.structural_admitted,
-                  metrics.structural_mutants));
-    if (auto *sink = obs::sink()) {
-        sink->event("campaign_summary",
-                    {{"execs", campaign_execs},
-                     {"wall_sec", wall_sec},
-                     {"execs_per_sec", execs_per_sec},
-                     {"final_edges", report.final_edges},
-                     {"final_blocks", report.final_blocks},
-                     {"corpus_size", report.corpus_size},
-                     {"unique_crashes", crashes_.uniqueCrashes()},
-                     {"arg_mutants", metrics.arg_mutants.value()},
-                     {"structural_mutants",
-                      metrics.structural_mutants.value()}});
-    }
-    return report;
+    return detail::finalizeCampaign(shared, timeline_, execs_,
+                                    execs_ - execs_start, wall_sec, 1);
 }
 
 }  // namespace sp::fuzz

@@ -3,9 +3,10 @@
  * The coverage-guided fuzzing loop (Figure 1 of the paper).
  *
  * One Fuzzer owns an executor, a corpus, a crash log and a mutation
- * engine. Each iteration picks a base test (choose_test), asks the
- * pluggable Localizer where to mutate arguments, instantiates several
- * mutations per localized site, and executes the mutants; call
+ * engine. Each iteration runs the staged pipeline shared with the
+ * multi-worker campaign engine (campaign.h): schedule (pick a base
+ * test), localize (ask the pluggable Localizer where to mutate
+ * arguments), instantiate, execute, triage/admit, checkpoint. Call
  * insertion/removal mutations run alongside with their Syzkaller
  * weights. Swapping the Localizer is exactly how Snowplow is built on
  * top of this loop (src/core/snowplow.h).
@@ -13,16 +14,20 @@
  * Time is virtual: the budget is counted in executed programs, the
  * resource both compared systems share (§5.3's same-machine-cost
  * comparison). Coverage is checkpointed on a fixed execution grid so
- * runs are directly comparable.
+ * runs are directly comparable. The Fuzzer itself stays
+ * single-threaded; CampaignEngine runs the same stages over N workers
+ * and reproduces this loop bit-for-bit at `workers = 1`.
  */
 #ifndef SP_FUZZ_FUZZER_H
 #define SP_FUZZ_FUZZER_H
 
+#include <array>
 #include <functional>
 #include <memory>
 
 #include "fuzz/corpus.h"
 #include "fuzz/crash.h"
+#include "fuzz/sched.h"
 #include "mutate/mutator.h"
 
 namespace sp::fuzz {
@@ -43,9 +48,15 @@ struct FuzzOptions
     size_t structural_mutations_per_base = 2;
     mut::MutatorOptions mutator;
     /**
-     * Optional choose_test override (Figure 1): picks the corpus entry
-     * to mutate. Directed fuzzing installs a distance-guided picker
-     * here; when unset the corpus default (recency-biased random) runs.
+     * Optional scheduler (Figure 1's choose_test as a stage): picks the
+     * corpus entry to mutate. Shared across campaign workers, so
+     * implementations must be safe for concurrent pick() calls. When
+     * unset, `choose_test` (below) or the recency-biased default runs.
+     */
+    std::shared_ptr<Scheduler> scheduler;
+    /**
+     * Legacy choose_test hook; wrapped in a HookScheduler when
+     * `scheduler` is unset. Prefer `scheduler` for new code.
      */
     std::function<const CorpusEntry &(const Corpus &, Rng &)> choose_test;
 };
@@ -57,6 +68,14 @@ enum class MutationLane {
     Structural,  ///< selector-driven insert/remove/random-arg lane
 };
 
+/** MutationLane as a dense array index. */
+constexpr size_t kMutationLanes = 3;
+constexpr size_t
+laneIndex(MutationLane lane)
+{
+    return static_cast<size_t>(lane);
+}
+
 /** One coverage checkpoint. */
 struct Checkpoint
 {
@@ -64,6 +83,13 @@ struct Checkpoint
     size_t edges = 0;
     size_t blocks = 0;
     size_t crashes = 0;
+};
+
+/** Per-lane production/admission totals of one campaign. */
+struct LaneCounts
+{
+    uint64_t produced = 0;
+    uint64_t admitted = 0;
 };
 
 /** Outcome of one fuzzing campaign. */
@@ -74,9 +100,19 @@ struct FuzzReport
     size_t final_blocks = 0;
     uint64_t execs = 0;
     size_t corpus_size = 0;
+    /** Unique (deduplicated) crashes at budget end. */
+    size_t final_crashes = 0;
+    /** Mutants produced/admitted per lane, indexed by laneIndex(). */
+    std::array<LaneCounts, kMutationLanes> lanes{};
+
+    const LaneCounts &
+    lane(MutationLane which) const
+    {
+        return lanes[laneIndex(which)];
+    }
 };
 
-/** The fuzzing loop. */
+/** The single-threaded fuzzing loop. */
 class Fuzzer
 {
   public:
@@ -108,22 +144,10 @@ class Fuzzer
     /** @} */
 
   private:
-    /**
-     * Execute one program, updating corpus, crashes, timeline and
-     * telemetry. `site` names the localized argument site for
-     * MutationLane::Argument mutants (event attribution only).
-     */
-    void executeOne(const prog::Prog &program, MutationLane lane,
-                    const mut::ArgLocation *site = nullptr);
-
-    /** Seed the corpus with random programs. */
-    void seedCorpus();
-
-    void maybeCheckpoint();
-
     const kern::Kernel &kernel_;
     FuzzOptions opts_;
     std::unique_ptr<mut::Localizer> localizer_;
+    std::shared_ptr<Scheduler> scheduler_;
     mut::Mutator mutator_;
     exec::Executor executor_;
     Corpus corpus_;

@@ -1,0 +1,41 @@
+#include "fuzz/sched.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sp::fuzz {
+
+BudgetLedger::BudgetLedger(uint64_t budget, uint64_t align,
+                           uint64_t start)
+    : budget_(budget), align_(align == 0 ? 1 : align), next_(start),
+      completed_(start)
+{
+}
+
+BudgetGrant
+BudgetLedger::claim(uint64_t want, bool bounded)
+{
+    SP_ASSERT(want > 0);
+    uint64_t begin = next_.load(std::memory_order_relaxed);
+    for (;;) {
+        uint64_t count = want;
+        if (bounded) {
+            if (begin >= budget_)
+                return {};
+            count = std::min<uint64_t>(count, budget_ - begin);
+        }
+        // Trim to the checkpoint grid: a grant never spans a multiple
+        // of align_, so the worker finishing the slot right before a
+        // boundary owns that checkpoint.
+        count = std::min<uint64_t>(count, align_ - begin % align_);
+        if (next_.compare_exchange_weak(begin, begin + count,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+            return {begin, count};
+        }
+        // `begin` reloaded by the failed CAS; retry.
+    }
+}
+
+}  // namespace sp::fuzz

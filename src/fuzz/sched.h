@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The campaign scheduler seam and the virtual-time budget ledger.
+ *
+ * Two pieces of Figure 1's loop become explicit, pluggable stages here:
+ *
+ *  - **schedule**: a Scheduler picks the base corpus entry each worker
+ *    mutates next. The default reproduces the corpus' recency-biased
+ *    pick; the legacy `FuzzOptions::choose_test` hook and the directed
+ *    mode's distance-guided picker (core/directed.h) are Scheduler
+ *    implementations, which is the seam later corpus-scheduling work
+ *    (e.g. Thompson-sampling over entries) plugs into.
+ *
+ *  - **virtual time**: the execution budget (one unit per executed
+ *    test, DESIGN.md §6) becomes a shared BudgetLedger that workers
+ *    claim slots from. Grants are aligned to the checkpoint grid —
+ *    no grant ever spans a multiple of `checkpoint_every` — so the
+ *    coverage timeline stays on the same fixed execution grid no
+ *    matter how many workers run, and every slot has a globally unique
+ *    1-based execution number for crash/admission/telemetry stamping.
+ */
+#ifndef SP_FUZZ_SCHED_H
+#define SP_FUZZ_SCHED_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fuzz/corpus.h"
+
+namespace sp::fuzz {
+
+/** A claimed run of virtual-time execution slots. */
+struct BudgetGrant
+{
+    uint64_t begin = 0;  ///< first slot index (0-based)
+    uint64_t count = 0;  ///< slots granted; 0 = budget exhausted
+
+    bool empty() const { return count == 0; }
+};
+
+/**
+ * Shared virtual-time budget. Thread-safe; claims are checkpoint
+ * aligned. `completed()` lags `claimed()` by the slots currently being
+ * executed, which is what checkpoint emission synchronizes on.
+ */
+class BudgetLedger
+{
+  public:
+    /**
+     * @param budget  total executions allowed (absolute, not relative
+     *                to `start`)
+     * @param align   checkpoint grid; grants never span a multiple
+     * @param start   slots already spent (legacy Fuzzer reruns)
+     */
+    BudgetLedger(uint64_t budget, uint64_t align, uint64_t start = 0);
+
+    /**
+     * Claim up to `want` slots. The grant is trimmed to the budget and
+     * to the next checkpoint boundary. With `bounded` false the budget
+     * cap is ignored (the seed phase executes its whole generated
+     * corpus exactly like the legacy loop, even past the budget).
+     */
+    BudgetGrant claim(uint64_t want, bool bounded = true);
+
+    /** Mark `n` claimed slots as executed. */
+    void complete(uint64_t n)
+    {
+        completed_.fetch_add(n, std::memory_order_acq_rel);
+    }
+
+    /** True once every budgeted slot has been claimed. */
+    bool exhausted() const { return claimed() >= budget_; }
+
+    uint64_t budget() const { return budget_; }
+    uint64_t claimed() const
+    {
+        return next_.load(std::memory_order_acquire);
+    }
+    uint64_t completed() const
+    {
+        return completed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    const uint64_t budget_;
+    const uint64_t align_;
+    std::atomic<uint64_t> next_;
+    std::atomic<uint64_t> completed_;
+};
+
+/** Picks the base corpus entry for a worker's next mutation round. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Choose the entry to mutate. Must be callable from concurrent
+     * workers (each passes its own RNG; the corpus is thread-safe).
+     */
+    virtual const CorpusEntry &pick(const Corpus &corpus, Rng &rng) = 0;
+};
+
+/** The default policy: the corpus' recency-biased random pick. */
+class RecencyScheduler : public Scheduler
+{
+  public:
+    const CorpusEntry &
+    pick(const Corpus &corpus, Rng &rng) override
+    {
+        return corpus.pick(rng);
+    }
+};
+
+/** Adapts a legacy `choose_test` hook onto the scheduler seam. */
+class HookScheduler : public Scheduler
+{
+  public:
+    using Hook =
+        std::function<const CorpusEntry &(const Corpus &, Rng &)>;
+
+    explicit HookScheduler(Hook hook) : hook_(std::move(hook)) {}
+
+    const CorpusEntry &
+    pick(const Corpus &corpus, Rng &rng) override
+    {
+        return hook_(corpus, rng);
+    }
+
+  private:
+    Hook hook_;
+};
+
+}  // namespace sp::fuzz
+
+#endif  // SP_FUZZ_SCHED_H

@@ -197,4 +197,10 @@ Registry::reset()
         histogram->reset();
 }
 
+std::string
+workerMetric(const std::string &base, size_t worker)
+{
+    return base + ".w" + std::to_string(worker);
+}
+
 }  // namespace sp::obs

@@ -165,6 +165,14 @@ class Registry
 bool timingEnabled();
 void setTimingEnabled(bool enabled);
 
+/**
+ * Name of a per-worker metric: `base` tagged with the worker id
+ * (e.g. workerMetric("fuzz.worker_busy_ratio", 2) ==
+ * "fuzz.worker_busy_ratio.w2"). Campaign workers report through this
+ * so one registry holds every worker's lane side by side.
+ */
+std::string workerMetric(const std::string &base, size_t worker);
+
 }  // namespace sp::obs
 
 #endif  // SP_OBS_METRICS_H

@@ -16,6 +16,15 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
+uint64_t
+splitSeed(uint64_t seed, uint64_t stream)
+{
+    if (stream == 0)
+        return seed;
+    uint64_t state = seed ^ (stream * 0x9e3779b97f4a7c15ULL);
+    return splitmix64(state);
+}
+
 namespace {
 
 inline uint64_t

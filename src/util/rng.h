@@ -19,6 +19,14 @@ namespace sp {
 /** Mix a 64-bit value through the splitmix64 finalizer. */
 uint64_t splitmix64(uint64_t &state);
 
+/**
+ * Derive the seed of an independent numbered stream from one campaign
+ * seed. Stream 0 is the identity — a single-stream consumer seeded with
+ * `splitSeed(seed, 0)` is bit-for-bit the legacy consumer seeded with
+ * `seed` — while every other stream is decorrelated through splitmix64.
+ */
+uint64_t splitSeed(uint64_t seed, uint64_t stream);
+
 /** Deterministic xoshiro256** generator with convenience samplers. */
 class Rng
 {

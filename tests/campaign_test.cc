@@ -1,0 +1,315 @@
+// Tests for the staged campaign runtime: the virtual-time budget
+// ledger, per-worker RNG stream splitting, the sharded corpus under
+// concurrency, and the campaign engine itself — including the hard
+// guarantee that a 1-worker campaign reproduces the legacy
+// single-threaded fuzzer bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/snowplow.h"
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "kernel/subsystems.h"
+#include "prog/gen.h"
+
+namespace sp::fuzz {
+namespace {
+
+const kern::Kernel &
+testKernel()
+{
+    static kern::Kernel kernel = [] {
+        kern::KernelGenParams params;
+        params.seed = 6;
+        return kern::buildBaseKernel(params);
+    }();
+    return kernel;
+}
+
+FuzzOptions
+smallCampaign(uint64_t seed)
+{
+    FuzzOptions opts;
+    opts.exec_budget = 1500;
+    opts.seed = seed;
+    opts.seed_corpus_size = 20;
+    opts.checkpoint_every = 250;
+    return opts;
+}
+
+void
+expectSameReport(const FuzzReport &a, const FuzzReport &b)
+{
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].execs, b.timeline[i].execs) << i;
+        EXPECT_EQ(a.timeline[i].edges, b.timeline[i].edges) << i;
+        EXPECT_EQ(a.timeline[i].blocks, b.timeline[i].blocks) << i;
+        EXPECT_EQ(a.timeline[i].crashes, b.timeline[i].crashes) << i;
+    }
+    EXPECT_EQ(a.final_edges, b.final_edges);
+    EXPECT_EQ(a.final_blocks, b.final_blocks);
+    EXPECT_EQ(a.execs, b.execs);
+    EXPECT_EQ(a.corpus_size, b.corpus_size);
+    EXPECT_EQ(a.final_crashes, b.final_crashes);
+    for (size_t lane = 0; lane < kMutationLanes; ++lane) {
+        EXPECT_EQ(a.lanes[lane].produced, b.lanes[lane].produced)
+            << lane;
+        EXPECT_EQ(a.lanes[lane].admitted, b.lanes[lane].admitted)
+            << lane;
+    }
+}
+
+TEST(BudgetLedger, GrantsNeverSpanCheckpointBoundaries)
+{
+    BudgetLedger ledger(1000, 64);
+    // First claim starts at 0: 64 - 0 % 64 = 64 slots max.
+    auto grant = ledger.claim(100);
+    EXPECT_EQ(grant.begin, 0u);
+    EXPECT_EQ(grant.count, 64u);
+    // Mid-grid claim is trimmed to the next boundary.
+    grant = ledger.claim(100);
+    EXPECT_EQ(grant.begin, 64u);
+    EXPECT_EQ(grant.count, 64u);
+    // Small claims inside one grid cell pass through.
+    grant = ledger.claim(3);
+    EXPECT_EQ(grant.begin, 128u);
+    EXPECT_EQ(grant.count, 3u);
+    grant = ledger.claim(100);
+    EXPECT_EQ(grant.begin, 131u);
+    EXPECT_EQ(grant.count, 61u);  // up to 192, not past it
+}
+
+TEST(BudgetLedger, ExhaustsExactlyAtBudget)
+{
+    BudgetLedger ledger(10, 4);
+    uint64_t total = 0;
+    while (true) {
+        auto grant = ledger.claim(3);
+        if (grant.empty())
+            break;
+        total += grant.count;
+    }
+    EXPECT_EQ(total, 10u);
+    EXPECT_TRUE(ledger.exhausted());
+    EXPECT_EQ(ledger.claimed(), 10u);
+    // Further bounded claims stay empty.
+    EXPECT_TRUE(ledger.claim(1).empty());
+}
+
+TEST(BudgetLedger, UnboundedClaimsIgnoreTheBudget)
+{
+    BudgetLedger ledger(5, 100);
+    for (int i = 0; i < 8; ++i) {
+        auto grant = ledger.claim(1, /*bounded=*/false);
+        EXPECT_EQ(grant.count, 1u);
+        ledger.complete(1);
+    }
+    // The seed phase overshot the budget; bounded claims see that.
+    EXPECT_TRUE(ledger.exhausted());
+    EXPECT_TRUE(ledger.claim(1).empty());
+    EXPECT_EQ(ledger.completed(), 8u);
+}
+
+TEST(BudgetLedger, StartOffsetResumesTheGrid)
+{
+    BudgetLedger ledger(100, 10, /*start=*/37);
+    auto grant = ledger.claim(50);
+    EXPECT_EQ(grant.begin, 37u);
+    EXPECT_EQ(grant.count, 3u);  // up to 40, the next boundary
+}
+
+TEST(SplitSeed, StreamZeroIsTheIdentity)
+{
+    EXPECT_EQ(splitSeed(12345, 0), 12345u);
+    EXPECT_EQ(splitSeed(0, 0), 0u);
+}
+
+TEST(SplitSeed, StreamsDecorrelate)
+{
+    // Different streams of one seed, and the same stream of different
+    // seeds, must all differ.
+    EXPECT_NE(splitSeed(1, 1), splitSeed(1, 2));
+    EXPECT_NE(splitSeed(1, 1), splitSeed(2, 1));
+    EXPECT_NE(splitSeed(1, 1), 1u);
+    // Nearby worker ids produce streams whose first draws diverge.
+    Rng a(splitSeed(99, 1)), b(splitSeed(99, 2));
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(ShardedCorpus, ConcurrentAdmissionKeepsCountsConsistent)
+{
+    const auto &kernel = testKernel();
+    constexpr size_t kThreads = 4;
+    Corpus corpus(kThreads);
+
+    // Pre-generate distinct programs + results per thread.
+    std::vector<std::vector<prog::Prog>> programs(kThreads);
+    std::vector<std::vector<exec::ExecResult>> results(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        Rng rng(1000 + t);
+        exec::Executor executor(kernel);
+        programs[t] = prog::generateCorpus(rng, kernel.table(), 40);
+        for (const auto &program : programs[t])
+            results[t].push_back(executor.run(program));
+    }
+
+    std::atomic<size_t> admitted{0};
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (size_t i = 0; i < programs[t].size(); ++i) {
+                if (corpus.maybeAdd(programs[t][i], results[t][i],
+                                    t * 100 + i))
+                    admitted.fetch_add(1);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(corpus.size(), admitted.load());
+    EXPECT_EQ(corpus.edgeCount(), corpus.totalCoverage().edgeCount());
+    EXPECT_EQ(corpus.blockCount(), corpus.totalCoverage().blockCount());
+    ASSERT_GT(corpus.size(), 0u);
+    // Every admitted entry is reachable through the global index.
+    for (size_t i = 0; i < corpus.size(); ++i)
+        EXPECT_NE(corpus.entry(i).program.calls.size(), 0u);
+    // pick() hits multiple shards.
+    Rng rng(7);
+    std::unordered_set<uint64_t> seen;
+    for (int i = 0; i < 300; ++i)
+        seen.insert(corpus.pick(rng).content_hash);
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(CampaignEngine, OneWorkerMatchesLegacyFuzzerSyzkaller)
+{
+    const auto &kernel = testKernel();
+    const auto opts = smallCampaign(33);
+
+    Fuzzer fuzzer(kernel, opts,
+                  std::make_unique<mut::RandomLocalizer>());
+    const auto legacy = fuzzer.run();
+
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 1;
+    campaign_opts.fuzz = opts;
+    auto engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    const auto staged = engine->run();
+
+    expectSameReport(legacy, staged);
+    EXPECT_EQ(fuzzer.crashes().uniqueCrashes(),
+              engine->crashes().uniqueCrashes());
+}
+
+TEST(CampaignEngine, OneWorkerMatchesLegacyFuzzerSnowplow)
+{
+    const auto &kernel = testKernel();
+    const auto opts = smallCampaign(77);
+    core::Pmm model;  // deterministic default-initialized weights
+
+    Fuzzer fuzzer(kernel, opts,
+                  std::make_unique<core::PmmLocalizer>(kernel, model));
+    const auto legacy = fuzzer.run();
+
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 1;
+    campaign_opts.fuzz = opts;
+    auto engine =
+        core::makeSnowplowCampaign(kernel, model, campaign_opts);
+    const auto staged = engine->run();
+
+    expectSameReport(legacy, staged);
+}
+
+TEST(CampaignEngine, RunsAreDeterministicGivenSeed)
+{
+    const auto &kernel = testKernel();
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 1;
+    campaign_opts.fuzz = smallCampaign(5);
+
+    auto first = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    auto second = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    expectSameReport(first->run(), second->run());
+}
+
+TEST(CampaignEngine, MultiWorkerKeepsTheCheckpointGrid)
+{
+    const auto &kernel = testKernel();
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 4;
+    campaign_opts.fuzz = smallCampaign(11);
+    campaign_opts.fuzz.exec_budget = 2000;
+
+    auto engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    const auto report = engine->run();
+
+    // Exactly the execution grid the single-worker loop would emit.
+    ASSERT_EQ(report.timeline.size(), 2000u / 250u);
+    for (size_t i = 0; i < report.timeline.size(); ++i)
+        EXPECT_EQ(report.timeline[i].execs, (i + 1) * 250);
+    // The timeline is monotone: coverage and crashes never regress.
+    for (size_t i = 1; i < report.timeline.size(); ++i) {
+        EXPECT_GE(report.timeline[i].edges,
+                  report.timeline[i - 1].edges);
+        EXPECT_GE(report.timeline[i].blocks,
+                  report.timeline[i - 1].blocks);
+        EXPECT_GE(report.timeline[i].crashes,
+                  report.timeline[i - 1].crashes);
+    }
+    // Bounded claims stop exactly at the budget.
+    EXPECT_EQ(report.execs, 2000u);
+    EXPECT_EQ(report.final_edges, report.timeline.back().edges);
+}
+
+TEST(CampaignEngine, LaneCountsAreConsistent)
+{
+    const auto &kernel = testKernel();
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 2;
+    campaign_opts.fuzz = smallCampaign(21);
+
+    auto engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    const auto report = engine->run();
+
+    uint64_t produced = 0, admitted = 0;
+    for (size_t lane = 0; lane < kMutationLanes; ++lane) {
+        produced += report.lanes[lane].produced;
+        admitted += report.lanes[lane].admitted;
+    }
+    // Every execution is attributed to exactly one lane, and every
+    // corpus entry to exactly one admission.
+    EXPECT_EQ(produced, report.execs);
+    EXPECT_EQ(admitted, report.corpus_size);
+    EXPECT_GT(report.lane(MutationLane::Seed).produced, 0u);
+    EXPECT_GT(report.lane(MutationLane::Argument).produced, 0u);
+    EXPECT_GT(report.lane(MutationLane::Structural).produced, 0u);
+}
+
+TEST(CampaignEngine, SchedulerSeamIsHonored)
+{
+    const auto &kernel = testKernel();
+    CampaignOptions campaign_opts;
+    campaign_opts.workers = 1;
+    campaign_opts.fuzz = smallCampaign(3);
+    std::atomic<uint64_t> picks{0};
+    campaign_opts.fuzz.choose_test =
+        [&picks](const Corpus &corpus,
+                 Rng &rng) -> const CorpusEntry & {
+        picks.fetch_add(1);
+        return corpus.entry(rng.below(corpus.size()));
+    };
+
+    auto engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    const auto report = engine->run();
+    EXPECT_GT(picks.load(), 0u);
+    EXPECT_EQ(report.execs, campaign_opts.fuzz.exec_budget);
+}
+
+}  // namespace
+}  // namespace sp::fuzz

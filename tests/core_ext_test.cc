@@ -212,5 +212,104 @@ TEST(Insertion, LearnsBetterThanRandom)
     EXPECT_GT(learned.variant_top1 + 1e-9, random.variant_top1);
 }
 
+TEST(PredictionCache, LookupInsertAndTallies)
+{
+    PredictionCache cache(8);
+    std::vector<mut::ArgLocation> sites;
+    EXPECT_FALSE(cache.lookup(1, &sites));
+    EXPECT_EQ(cache.misses(), 1u);
+
+    mut::ArgLocation site;
+    site.call_index = 7;
+    cache.insert(1, {site});
+    EXPECT_TRUE(cache.lookup(1, &sites));
+    ASSERT_EQ(sites.size(), 1u);
+    EXPECT_EQ(sites[0].call_index, 7u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(PredictionCache, WholesaleEvictionAtCapacity)
+{
+    PredictionCache cache(3);
+    for (uint64_t key = 0; key < 3; ++key)
+        cache.insert(key, {});
+    EXPECT_EQ(cache.size(), 3u);
+    // Re-inserting a resident key never evicts.
+    cache.insert(1, {});
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    // The 4th distinct key clears everything first.
+    cache.insert(99, {});
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 3u);
+    EXPECT_FALSE(cache.lookup(0, nullptr));
+    EXPECT_TRUE(cache.lookup(99, nullptr));
+}
+
+TEST(PredictionCache, SharedAcrossConcurrentLocalizers)
+{
+    auto cache = std::make_shared<PredictionCache>(1024);
+    constexpr size_t kThreads = 4;
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&cache, t] {
+            for (uint64_t i = 0; i < 200; ++i) {
+                const uint64_t key = i % 50;
+                std::vector<mut::ArgLocation> sites;
+                if (!cache->lookup(key, &sites)) {
+                    mut::ArgLocation site;
+                    site.call_index = static_cast<uint32_t>(t);
+                    cache->insert(key, {site});
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(cache->size(), 50u);
+    EXPECT_EQ(cache->hits() + cache->misses(), kThreads * 200u);
+    EXPECT_GT(cache->hits(), cache->misses());
+}
+
+TEST(PmmLocalizer, EvictsWholesaleAtCapacity)
+{
+    const auto &kernel = testKernel();
+    PmmConfig config;
+    config.dim = 16;
+    config.token_dim = 8;
+    config.gnn_layers = 1;
+    Pmm model(config);
+
+    SnowplowOptions opts;
+    opts.fallback_prob = 0.0;  // every query goes through the cache
+    opts.cache_capacity = 3;
+    PmmLocalizer localizer(kernel, model, opts);
+
+    Rng gen(17), rng(18);
+    exec::Executor executor(kernel);
+    auto programs = prog::generateCorpus(gen, kernel.table(), 5);
+    ASSERT_GE(programs.size(), 4u);
+    for (size_t i = 0; i < 3; ++i) {
+        auto result = executor.run(programs[i]);
+        localizer.localizeWithResult(programs[i], result, rng, 4);
+    }
+    EXPECT_EQ(localizer.cacheSize(), 3u);
+    EXPECT_EQ(localizer.cache().evictions(), 0u);
+
+    // A 4th distinct base clears the cache wholesale, then lands.
+    auto result = executor.run(programs[3]);
+    localizer.localizeWithResult(programs[3], result, rng, 4);
+    EXPECT_EQ(localizer.cacheSize(), 1u);
+    EXPECT_EQ(localizer.cache().evictions(), 3u);
+
+    // Re-querying the same base is a pure cache hit.
+    const uint64_t hits_before = localizer.cache().hits();
+    localizer.localizeWithResult(programs[3], result, rng, 4);
+    EXPECT_EQ(localizer.cache().hits(), hits_before + 1);
+    EXPECT_EQ(localizer.cacheSize(), 1u);
+}
+
 }  // namespace
 }  // namespace sp::core
