@@ -47,9 +47,17 @@ class DistanceScheduler : public fuzz::Scheduler
     const fuzz::CorpusEntry &
     pick(const fuzz::Corpus &corpus, Rng &rng) override
     {
-        SP_ASSERT(!corpus.empty());
-        std::vector<double> weights(corpus.size());
-        for (size_t i = 0; i < corpus.size(); ++i) {
+        // Snapshot the size once: concurrent workers may grow the
+        // corpus mid-loop, and both the weight vector and the final
+        // index must stay inside one consistent bound. Entries are
+        // never removed, so indices below `n` remain valid; the
+        // shard-major index→entry mapping may shift under concurrent
+        // admissions (a documented momentary-handle caveat), which
+        // only perturbs which frontier entry a weight lands on.
+        const size_t n = corpus.size();
+        SP_ASSERT(n > 0);
+        std::vector<double> weights(n);
+        for (size_t i = 0; i < n; ++i) {
             uint32_t best = ~0u;
             for (uint32_t block :
                  corpus.entry(i).result.coverage.blocks()) {

@@ -264,9 +264,18 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
                     ? std::vector<mut::ArgLocation>{}
                     : rankFromProbs(probs, it->second.locations,
                                     opts_.threshold, max_sites * 2);
-            ready_->insert(key, std::move(sites));
+            ready_->insert(key, sites);
             pending_.erase(it);
-            return localizeWithResult(prog, result, rng, max_sites);
+            // Use the ranked sites directly rather than re-entering
+            // the counted cache lookup: the landing itself must not
+            // skew the snowplow.cache.* hit/miss telemetry.
+            ++answered_;
+            LocalizerMetrics::get().async_ready.inc();
+            if (sites.size() > max_sites)
+                sites.resize(max_sites);
+            if (sites.empty())
+                return fallback_.localize(prog, rng, 1);
+            return sites;
         }
         // Inference still in flight: let the loop do other mutations.
         ++pending_answers_;

@@ -63,11 +63,14 @@ microsSince(std::chrono::steady_clock::time_point start)
 
 /**
  * Checkpoint stage. Runs in the worker that executed the slot
- * completing a grid boundary; that worker waits for every earlier slot
- * to finish and for every earlier checkpoint to be emitted, then
- * snapshots the campaign. The wait makes each checkpoint a consistent
- * prefix snapshot, so the timeline is monotone no matter how slots
- * interleaved across workers.
+ * completing a grid boundary; that worker blocks until the ledger's
+ * contiguous-prefix watermark covers every earlier slot (not just the
+ * aggregate count — later-claimed slots finishing early must not
+ * unblock it past a still-running earlier slot) and until every
+ * earlier checkpoint has been emitted, then snapshots the campaign.
+ * Both waits sleep on condition variables; the wait makes each
+ * checkpoint a consistent prefix snapshot, so the timeline is monotone
+ * no matter how slots interleaved across workers.
  */
 void
 maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
@@ -78,14 +81,17 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
         return;
     const uint64_t target = slot / every - shared.board_base - 1;
 
-    if (shared.ledger->completed() < slot ||
+    if (shared.ledger->prefixCompleted() < slot ||
         shared.checkpoints_done.load(std::memory_order_acquire) !=
             target) {
         const auto wait_start = std::chrono::steady_clock::now();
-        while (shared.ledger->completed() < slot ||
-               shared.checkpoints_done.load(std::memory_order_acquire) !=
-                   target) {
-            std::this_thread::yield();
+        shared.ledger->waitForPrefix(slot);
+        {
+            std::unique_lock<std::mutex> lock(shared.checkpoint_mu);
+            shared.checkpoint_cv.wait(lock, [&shared, target] {
+                return shared.checkpoints_done.load(
+                           std::memory_order_acquire) == target;
+            });
         }
         env.wait_us += microsSince(wait_start);
     }
@@ -115,7 +121,12 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
              {"corpus_size", shared.corpus->size()}});
     }
     shared.last_checkpoint_edges = cp.edges;
-    shared.checkpoints_done.store(target + 1, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(shared.checkpoint_mu);
+        shared.checkpoints_done.store(target + 1,
+                                      std::memory_order_release);
+    }
+    shared.checkpoint_cv.notify_all();
 }
 
 /**
@@ -181,7 +192,7 @@ executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
               site ? static_cast<int64_t>(site->call_index)
                    : int64_t{-1}}});
     }
-    shared.ledger->complete(1);
+    shared.ledger->complete(grant);
     maybeEmitCheckpoint(env, slot);
     return true;
 }

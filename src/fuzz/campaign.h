@@ -22,14 +22,19 @@
  *    checkpoint-aligned grants, so the coverage timeline lands on the
  *    same fixed execution grid regardless of worker count; and
  *  - checkpoints are emitted in order by the worker that executed the
- *    slot completing each grid boundary, after waiting for every
- *    earlier slot to finish, which keeps the timeline monotone.
+ *    slot completing each grid boundary, after blocking (on condition
+ *    variables, not a spin) until the ledger's contiguous-prefix
+ *    completion watermark covers every earlier slot and every earlier
+ *    checkpoint has been emitted, which makes each checkpoint a
+ *    consistent prefix snapshot and the timeline monotone.
  */
 #ifndef SP_FUZZ_CAMPAIGN_H
 #define SP_FUZZ_CAMPAIGN_H
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
@@ -72,6 +77,9 @@ struct CampaignShared
     std::vector<Checkpoint> board;
     /** Checkpoints emitted so far (board.size(), published). */
     std::atomic<uint64_t> checkpoints_done{0};
+    /** Wakes boundary owners waiting for the previous checkpoint. */
+    std::mutex checkpoint_mu;
+    std::condition_variable checkpoint_cv;
     /** Grid ordinal of board[0] (non-zero on legacy fuzzer reruns). */
     uint64_t board_base = 0;
     /** Edge count at the previous checkpoint (telemetry deltas); only

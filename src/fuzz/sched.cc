@@ -9,8 +9,52 @@ namespace sp::fuzz {
 BudgetLedger::BudgetLedger(uint64_t budget, uint64_t align,
                            uint64_t start)
     : budget_(budget), align_(align == 0 ? 1 : align), next_(start),
-      completed_(start)
+      completed_(start), watermark_(start)
 {
+}
+
+void
+BudgetLedger::complete(const BudgetGrant &grant)
+{
+    if (grant.count == 0)
+        return;
+    completed_.fetch_add(grant.count, std::memory_order_acq_rel);
+
+    bool advanced = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        uint64_t mark = watermark_.load(std::memory_order_relaxed);
+        if (grant.begin == mark) {
+            // Claims partition [start, claimed), so completed grants
+            // stranded above the watermark always start exactly where
+            // it lands — merge every contiguous run now unblocked.
+            mark += grant.count;
+            auto it = pending_done_.begin();
+            while (it != pending_done_.end() && it->first == mark) {
+                mark += it->second;
+                it = pending_done_.erase(it);
+            }
+            watermark_.store(mark, std::memory_order_release);
+            advanced = true;
+        } else {
+            pending_done_.emplace(grant.begin, grant.count);
+        }
+    }
+    if (advanced && waiters_.load(std::memory_order_relaxed) > 0)
+        cv_.notify_all();
+}
+
+void
+BudgetLedger::waitForPrefix(uint64_t slot)
+{
+    if (prefixCompleted() >= slot)
+        return;
+    std::unique_lock<std::mutex> lock(mu_);
+    waiters_.fetch_add(1, std::memory_order_relaxed);
+    cv_.wait(lock, [this, slot] {
+        return watermark_.load(std::memory_order_relaxed) >= slot;
+    });
+    waiters_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 BudgetGrant

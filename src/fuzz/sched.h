@@ -23,9 +23,12 @@
 #define SP_FUZZ_SCHED_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "fuzz/corpus.h"
 
@@ -42,8 +45,11 @@ struct BudgetGrant
 
 /**
  * Shared virtual-time budget. Thread-safe; claims are checkpoint
- * aligned. `completed()` lags `claimed()` by the slots currently being
- * executed, which is what checkpoint emission synchronizes on.
+ * aligned. Completion is tracked two ways: `completed()` is the total
+ * slot count (campaign accounting), while `prefixCompleted()` is the
+ * contiguous-prefix watermark — every slot below it has finished, no
+ * matter how grants interleaved across workers — which is what
+ * checkpoint emission synchronizes on (`waitForPrefix`).
  */
 class BudgetLedger
 {
@@ -64,11 +70,13 @@ class BudgetLedger
      */
     BudgetGrant claim(uint64_t want, bool bounded = true);
 
-    /** Mark `n` claimed slots as executed. */
-    void complete(uint64_t n)
-    {
-        completed_.fetch_add(n, std::memory_order_acq_rel);
-    }
+    /** Mark the slots of `grant` as executed, advancing the prefix
+     *  watermark (and waking `waitForPrefix` waiters) when the grant
+     *  closes a gap. */
+    void complete(const BudgetGrant &grant);
+
+    /** Block until every slot below `slot` has completed. */
+    void waitForPrefix(uint64_t slot);
 
     /** True once every budgeted slot has been claimed. */
     bool exhausted() const { return claimed() >= budget_; }
@@ -82,12 +90,25 @@ class BudgetLedger
     {
         return completed_.load(std::memory_order_acquire);
     }
+    /** Contiguous completed prefix: slots [0, watermark) are done. */
+    uint64_t prefixCompleted() const
+    {
+        return watermark_.load(std::memory_order_acquire);
+    }
 
   private:
     const uint64_t budget_;
     const uint64_t align_;
     std::atomic<uint64_t> next_;
     std::atomic<uint64_t> completed_;
+    std::atomic<uint64_t> watermark_;
+
+    /** Guards the watermark advance and the waiter wakeup. */
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::atomic<int> waiters_{0};
+    /** Completed grants stranded above the watermark, by begin slot. */
+    std::map<uint64_t, uint64_t> pending_done_;
 };
 
 /** Picks the base corpus entry for a worker's next mutation round. */

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/snowplow.h"
@@ -106,7 +107,7 @@ TEST(BudgetLedger, UnboundedClaimsIgnoreTheBudget)
     for (int i = 0; i < 8; ++i) {
         auto grant = ledger.claim(1, /*bounded=*/false);
         EXPECT_EQ(grant.count, 1u);
-        ledger.complete(1);
+        ledger.complete(grant);
     }
     // The seed phase overshot the budget; bounded claims see that.
     EXPECT_TRUE(ledger.exhausted());
@@ -120,6 +121,49 @@ TEST(BudgetLedger, StartOffsetResumesTheGrid)
     auto grant = ledger.claim(50);
     EXPECT_EQ(grant.begin, 37u);
     EXPECT_EQ(grant.count, 3u);  // up to 40, the next boundary
+}
+
+TEST(BudgetLedger, PrefixWatermarkAdvancesOnlyContiguously)
+{
+    BudgetLedger ledger(12, 4);
+    const auto g0 = ledger.claim(4);  // [0, 4)
+    const auto g1 = ledger.claim(4);  // [4, 8)
+    const auto g2 = ledger.claim(4);  // [8, 12)
+
+    // Out-of-order completions raise the total but not the prefix:
+    // a checkpoint at slot 4 must still see slot 1 as outstanding.
+    ledger.complete(g1);
+    ledger.complete(g2);
+    EXPECT_EQ(ledger.completed(), 8u);
+    EXPECT_EQ(ledger.prefixCompleted(), 0u);
+
+    // Closing the gap merges every stranded run in one step.
+    ledger.complete(g0);
+    EXPECT_EQ(ledger.completed(), 12u);
+    EXPECT_EQ(ledger.prefixCompleted(), 12u);
+}
+
+TEST(BudgetLedger, WaitForPrefixBlocksUntilEarlierSlotsFinish)
+{
+    BudgetLedger ledger(8, 4);
+    const auto g0 = ledger.claim(4);
+    const auto g1 = ledger.claim(4);
+    ledger.complete(g1);  // later slots landing early must not unblock
+
+    std::atomic<bool> woke{false};
+    std::thread waiter([&] {
+        ledger.waitForPrefix(4);
+        woke.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(woke.load());
+    ledger.complete(g0);
+    waiter.join();
+    EXPECT_TRUE(woke.load());
+    EXPECT_EQ(ledger.prefixCompleted(), 8u);
+
+    // Satisfied waits return immediately.
+    ledger.waitForPrefix(8);
 }
 
 TEST(SplitSeed, StreamZeroIsTheIdentity)

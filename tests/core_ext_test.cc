@@ -86,7 +86,9 @@ TEST(AsyncLocalizer, EventuallyMatchesSyncPredictions)
     SnowplowOptions opts;
     opts.fallback_prob = 0.0;
     PmmLocalizer sync_localizer(kernel, model, opts);
-    AsyncPmmLocalizer async_localizer(kernel, service, opts);
+    auto landed_cache = std::make_shared<PredictionCache>(64);
+    AsyncPmmLocalizer async_localizer(kernel, service, opts,
+                                      landed_cache);
 
     Rng rng(5);
     auto program = prog::generateProg(rng, kernel.table());
@@ -114,6 +116,16 @@ TEST(AsyncLocalizer, EventuallyMatchesSyncPredictions)
     }
     EXPECT_GT(async_localizer.answeredWhilePending(), 0u);
     EXPECT_EQ(async_localizer.submitted(), 1u);
+
+    // The landing call answers from the ranked sites directly, not
+    // through a counted cache lookup — every lookup so far was a
+    // pending-side miss, so no hit may be on the books yet.
+    EXPECT_EQ(landed_cache->hits(), 0u);
+    const uint64_t misses_after_landing = landed_cache->misses();
+    got = async_localizer.localizeWithResult(program, result, rng_b, 4);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_EQ(landed_cache->hits(), 1u);
+    EXPECT_EQ(landed_cache->misses(), misses_after_landing);
 }
 
 TEST(AsyncLocalizer, FuzzerIntegrationRuns)
