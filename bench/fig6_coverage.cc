@@ -22,6 +22,10 @@
 // `--workers N` runs every campaign on the multi-worker engine (the
 // checkpoint grid, and therefore the figure's x-axis, is identical at
 // any worker count; N=1 reproduces the classic loop bit-for-bit).
+//
+// `--trace-out FILE.json` (optionally with `--trace-sample 1/64`)
+// exports the campaigns' pipeline spans as Chrome/Perfetto trace_event
+// JSON — handy for eyeballing where a figure run spends its time.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +35,7 @@
 
 #include "bench/common.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 
 namespace {
@@ -124,14 +129,31 @@ main(int argc, char **argv)
 {
     using namespace sp;
     size_t workers = 1;
+    obs::TraceOptions trace_opts;
+    bool tracing = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
             workers = static_cast<size_t>(
                 std::max(1L, std::atol(argv[++i])));
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_opts.path = argv[++i];
+            tracing = true;
+        } else if (std::strcmp(argv[i], "--trace-sample") == 0 &&
+                   i + 1 < argc) {
+            const char *s = argv[++i];
+            if (const char *slash = std::strchr(s, '/'))
+                s = slash + 1;
+            const long denom = std::atol(s);
+            trace_opts.sample =
+                denom <= 0 ? 1 : static_cast<uint32_t>(denom);
+            tracing = true;
         } else {
             obs::installSink({.path = argv[i]});
         }
     }
+    if (tracing)
+        obs::installTracer(trace_opts);
     std::printf("=== Figure 6: edge coverage over 24 virtual hours, "
                 "%d seeds ===\n", kSeeds);
     std::printf("(1 virtual hour = %llu executed tests",
@@ -223,6 +245,12 @@ main(int argc, char **argv)
         std::printf("  kernel %-5s: +%.1f%%  (paper: %+0.1f%%)\n",
                     versions[v], improvements[v],
                     v == 0 ? 7.0 : (v == 1 ? 8.6 : 7.7));
+    }
+    if (tracing) {
+        obs::shutdownTracer();
+        if (!trace_opts.path.empty())
+            std::printf("trace written to %s\n",
+                        trace_opts.path.c_str());
     }
     obs::shutdownSink();
     return 0;

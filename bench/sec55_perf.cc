@@ -18,6 +18,7 @@
 #include "core/infer.h"
 #include "exec/executor.h"
 #include "nn/gemm.h"
+#include "obs/trace.h"
 #include "prog/gen.h"
 #include "util/rng.h"
 
@@ -200,6 +201,53 @@ BM_ExecutorRawThroughput(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ExecutorRawThroughput);
+
+// Tracer hot-path discipline. BM_TraceSpanDisabled is the cost of one
+// instrumentation site with no tracer installed — a relaxed flag load
+// and nothing else (no clock read, no ring write). BM_TraceOverhead
+// runs the executor slot loop untraced vs traced so the full-pipeline
+// cost of span recording is visible. CI gates the disabled path: the
+// per-slot instrumentation cost (≈6 span sites) must stay under 1% of
+// a slot (see ci/run_tier1.sh).
+void
+BM_TraceSpanDisabled(benchmark::State &state)
+{
+    obs::shutdownTracer();
+    uint64_t slot = 0;
+    for (auto _ : state) {
+        obs::TraceSpan span(obs::SpanKind::Execute, slot);
+        benchmark::DoNotOptimize(slot);
+        ++slot;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+void
+BM_TraceOverhead(benchmark::State &state)
+{
+    const bool traced = state.range(0) != 0;
+    if (traced) {
+        obs::TraceOptions opts;
+        opts.ring_capacity = 4096;
+        obs::installTracer(opts);
+    } else {
+        obs::shutdownTracer();
+    }
+    const auto &kernel = fixtures().kernel;
+    Rng rng(11);
+    auto corpus = prog::generateCorpus(rng, kernel.table(), 64);
+    exec::Executor executor(kernel);
+    size_t i = 0;
+    for (auto _ : state) {
+        obs::TraceScope scope(obs::beginTrace());
+        auto result = executor.run(corpus[i++ % corpus.size()]);
+        benchmark::DoNotOptimize(result.coverage.edgeCount());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    obs::shutdownTracer();
+}
+BENCHMARK(BM_TraceOverhead)->ArgNames({"traced"})->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -90,16 +90,19 @@ validate_jsonl "$snowplow" \
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
-    obs_test
+    obs_test trace_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test)$'
+    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
 # this google-benchmark predates unit suffixes) and keep the JSON
-# report as a build artifact for eyeballing regressions.
+# report as a build artifact for eyeballing regressions. The tracer
+# benchmarks also gate the disabled path: with no tracer installed an
+# instrumentation site must cost so little that a full slot's worth of
+# span sites stays under 1% of the slot itself.
 ./build/bench/sec55_perf \
-    --benchmark_filter='BM_RawMatmul|BM_PmmInferenceLatency|BM_InferenceServiceThroughput/workers:1' \
+    --benchmark_filter='BM_RawMatmul|BM_PmmInferenceLatency|BM_InferenceServiceThroughput/workers:1|BM_TraceSpanDisabled|BM_TraceOverhead' \
     --benchmark_min_time=0.01 \
     --benchmark_out=BENCH_sec55.json --benchmark_out_format=json \
     > /dev/null
@@ -110,10 +113,131 @@ with open("BENCH_sec55.json") as f:
     report = json.load(f)
 names = [b["name"] for b in report["benchmarks"]]
 for needle in ("BM_RawMatmul", "BM_PmmInferenceLatency",
-               "BM_InferenceServiceThroughput"):
+               "BM_InferenceServiceThroughput", "BM_TraceSpanDisabled",
+               "BM_TraceOverhead"):
     if not any(needle in n for n in names):
         raise SystemExit(f"BENCH_sec55.json: missing {needle} results")
-print(f"BENCH_sec55.json: {len(names)} benchmark results")
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def time_ns(needle):
+    bench = next(b for b in report["benchmarks"] if needle in b["name"])
+    return bench["real_time"] * UNIT_NS[bench["time_unit"]]
+
+# Disabled-path gate: ~6 span/status sites fire per pipeline slot
+# (schedule, localize, instantiate, execute, triage, board update).
+span_ns = time_ns("BM_TraceSpanDisabled")
+slot_ns = time_ns("BM_TraceOverhead/traced:0")
+overhead = 6.0 * span_ns / slot_ns
+print(f"BENCH_sec55.json: {len(names)} benchmark results; "
+      f"disabled-path span {span_ns:.1f} ns, slot {slot_ns:.0f} ns "
+      f"-> {100.0 * overhead:.3f}% per slot")
+if overhead >= 0.01:
+    raise SystemExit("tracing-disabled overhead exceeds 1% of a slot")
 PY
 
-echo "tier-1 + telemetry + perf smoke: OK"
+# Stage 5: introspection smoke — a short multi-worker campaign with
+# span tracing and the status server up, scraped over HTTP while the
+# process idles in --status-hold. Validates /metrics and /status
+# against the checked-in schemas (ci/schemas/) and that the exported
+# trace parses as Chrome trace_event JSON covering the pipeline.
+trace_json=$(mktemp /tmp/sp_ci_trace.XXXXXX.json)
+introspect=$(mktemp /tmp/sp_ci_introspect.XXXXXX.jsonl)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect"' EXIT
+python3 - "$trace_json" "$introspect" <<'PY'
+import json
+import re
+import subprocess
+import sys
+import urllib.request
+
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+proc = subprocess.Popen(
+    ["./build/examples/snowplow_cli", "fuzz",
+     "--budget", "5000", "--seed", "1", "--workers", "4",
+     "--metrics-out", metrics_path,
+     "--trace-out", trace_path, "--trace-sample", "1",
+     "--status-port", "0", "--status-hold", "1"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+# The driver owns stdin: --status-hold blocks on it until released.
+port = None
+final_seen = False
+for line in proc.stdout:
+    match = re.match(r"status server listening on port (\d+)", line)
+    if match:
+        port = int(match.group(1))
+    final_seen |= line.startswith("final:")
+    if line.startswith("status-hold:"):
+        break
+if port is None:
+    sys.exit("introspection smoke: no status-server port line")
+if not final_seen:
+    sys.exit("introspection smoke: campaign never printed final:")
+
+def get(path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10) as response:
+        return response.read().decode()
+
+with open("ci/schemas/status.schema.json") as f:
+    schema = json.load(f)
+
+TYPES = {"int": int, "str": str, "list": list, "dict": dict}
+
+def check(obj, spec, where):
+    for key, type_name in spec.items():
+        if key not in obj:
+            sys.exit(f"/status: {where} missing key {key!r}")
+        if not isinstance(obj[key], TYPES[type_name]):
+            sys.exit(f"/status: {where}.{key} is not {type_name}")
+
+status = json.loads(get("/status"))
+check(status, schema["required"], "top level")
+if len(status["workers"]) != 4:
+    sys.exit(f"/status: expected 4 workers, got {len(status['workers'])}")
+for worker in status["workers"]:
+    check(worker, schema["worker"], f"workers[{worker.get('id')}]")
+    if worker["stage"] not in schema["worker_stages"]:
+        sys.exit(f"/status: unknown stage {worker['stage']!r}")
+check(status["campaign"], schema["campaign"], "campaign")
+if status["campaign"]["completed"] < 5000:
+    sys.exit("/status: campaign.completed below the budget")
+
+metrics = get("/metrics")
+with open("ci/schemas/metrics.required.txt") as f:
+    required = [line.strip() for line in f
+                if line.strip() and not line.startswith("#")]
+for name in required:
+    if not re.search(rf"^{re.escape(name)}(\{{| )", metrics, re.M):
+        sys.exit(f"/metrics: missing required metric {name}")
+
+if get("/healthz").strip() != "ok":
+    sys.exit("/healthz: not ok")
+
+# Release the hold and let the process export the trace and exit.
+proc.stdin.write("\n")
+proc.stdin.close()
+if proc.wait(timeout=60) != 0:
+    sys.exit(f"snowplow_cli exited {proc.returncode}")
+
+with open(trace_path) as f:
+    events = json.load(f)
+complete = [e for e in events if e.get("ph") == "X"]
+if not complete:
+    sys.exit("trace: no complete events")
+for event in complete:
+    for key in ("name", "pid", "tid", "ts", "dur"):
+        if key not in event:
+            sys.exit(f"trace: event missing {key}: {event}")
+stages = {e["name"] for e in complete}
+for stage in ("schedule", "localize", "instantiate", "execute",
+              "triage", "checkpoint"):
+    if stage not in stages:
+        sys.exit(f"trace: no {stage} spans")
+print(f"introspection smoke: port {port}, {len(status['workers'])} "
+      f"workers, {len(events)} trace events, "
+      f"{len(required)} required metrics present")
+PY
+
+echo "tier-1 + telemetry + perf + introspection smoke: OK"

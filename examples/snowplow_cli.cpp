@@ -30,11 +30,28 @@
 //   inference latencies, training epochs, crash dedup decisions) to
 //   FILE and append a final metrics-registry snapshot. See the
 //   "Observability" section of DESIGN.md for the event schema.
+//
+//   Introspection flags (DESIGN.md §10):
+//     --trace-out FILE.json     export pipeline spans as Chrome/
+//                               Perfetto trace_event JSON
+//     --trace-sample 1/64       keep 1 of every 64 pipeline rounds
+//                               (also accepts a bare denominator)
+//     --status-port P           serve /metrics, /status, /healthz on
+//                               127.0.0.1:P (0 = ephemeral; the bound
+//                               port is printed)
+//     --status-hold 1           after the command finishes, hold the
+//                               process (and the status server) until
+//                               a line arrives on stdin — scripts
+//                               scrape the final state, then release
+//     --flightrec-dir DIR       where crash-time flight records land
+//     --stall-timeout-ms MS     watchdog: dump a flight record when a
+//                               worker sits in one stage this long
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "core/directed.h"
@@ -42,7 +59,9 @@
 #include "core/train.h"
 #include "kernel/subsystems.h"
 #include "nn/serialize.h"
+#include "obs/statusd.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "prog/serialize.h"
 #include "util/logging.h"
 
@@ -78,9 +97,25 @@ class Args
                    : std::strtoull(it->second.c_str(), nullptr, 10);
     }
 
+    bool has(const std::string &key) const
+    {
+        return values_.count(key) != 0;
+    }
+
   private:
     std::map<std::string, std::string> values_;
 };
+
+/** "--trace-sample 1/64" or "--trace-sample 64" → keep 1 in 64. */
+uint32_t
+parseSampleRate(const std::string &text)
+{
+    const char *s = text.c_str();
+    if (const char *slash = std::strchr(s, '/'))
+        s = slash + 1;
+    const unsigned long denom = std::strtoul(s, nullptr, 10);
+    return denom == 0 ? 1 : static_cast<uint32_t>(denom);
+}
 
 kern::Kernel
 makeKernel(const Args &args)
@@ -293,7 +328,11 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: snowplow_cli "
                      "<kernel-stats|fuzz|train|directed|corpus> "
-                     "[--flag value]... [--metrics-out FILE.jsonl]\n");
+                     "[--flag value]... [--metrics-out FILE.jsonl]\n"
+                     "       [--trace-out FILE.json] [--trace-sample "
+                     "1/64] [--status-port P] [--status-hold 1]\n"
+                     "       [--flightrec-dir DIR] "
+                     "[--stall-timeout-ms MS]\n");
         return 2;
     }
     const Args args(argc, argv);
@@ -301,7 +340,48 @@ main(int argc, char **argv)
     if (!metrics_out.empty())
         sp::obs::installSink({.path = metrics_out});
 
+    const std::string trace_out = args.get("trace-out", "");
+    const uint64_t stall_ms = args.getU64("stall-timeout-ms", 0);
+    const bool tracing = !trace_out.empty() ||
+                         args.has("flightrec-dir") || stall_ms > 0;
+    if (tracing) {
+        sp::obs::TraceOptions trace_opts;
+        trace_opts.path = trace_out;
+        trace_opts.sample =
+            parseSampleRate(args.get("trace-sample", "1"));
+        trace_opts.flightrec_dir = args.get("flightrec-dir", ".");
+        trace_opts.stall_timeout_us = stall_ms * 1000;
+        sp::obs::installTracer(trace_opts);
+    }
+
+    std::unique_ptr<sp::obs::StatusServer> status_server;
+    if (args.has("status-port")) {
+        status_server = std::make_unique<sp::obs::StatusServer>(
+            static_cast<uint16_t>(args.getU64("status-port", 0)));
+        std::printf("status server listening on port %u\n",
+                    static_cast<unsigned>(status_server->port()));
+        std::fflush(stdout);
+    }
+
     const int rc = dispatch(argv[1], args);
+    std::fflush(stdout);
+
+    // Scripted introspection: keep the process (and its status server)
+    // alive after the command so a driver can scrape the final
+    // /metrics and /status, then release us with one stdin line.
+    if (status_server != nullptr && args.getU64("status-hold", 0) != 0) {
+        std::printf("status-hold: send a line to stdin to exit\n");
+        std::fflush(stdout);
+        int c;
+        while ((c = std::fgetc(stdin)) != EOF && c != '\n') {
+        }
+    }
+    status_server.reset();
+    if (tracing) {
+        sp::obs::shutdownTracer();
+        if (!trace_out.empty())
+            std::printf("trace written to %s\n", trace_out.c_str());
+    }
 
     if (!metrics_out.empty()) {
         // Appends the final registry snapshot and closes the file.

@@ -5,6 +5,7 @@
 
 #include "nn/inference.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sp::core {
@@ -48,7 +49,7 @@ InferenceService::InferenceService(const Pmm &model, size_t workers,
     SP_ASSERT(batch_.max_batch >= 1);
     workers_.reserve(workers);
     for (size_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 InferenceService::~InferenceService()
@@ -63,11 +64,14 @@ InferenceService::~InferenceService()
 }
 
 std::future<std::vector<float>>
-InferenceService::submit(graph::EncodedGraph graph)
+InferenceService::submit(graph::EncodedGraph graph, uint64_t trace_id)
 {
     Request request;
     request.graph = std::move(graph);
     request.enqueued = std::chrono::steady_clock::now();
+    request.trace_id = trace_id;
+    if (trace_id != 0)
+        request.enqueued_us = monotonicMicros();
     auto future = request.promise.get_future();
     size_t depth;
     {
@@ -109,8 +113,10 @@ InferenceService::stats() const
 }
 
 void
-InferenceService::workerLoop()
+InferenceService::workerLoop(size_t worker)
 {
+    if (obs::traceEnabled() || obs::introspectionEnabled())
+        obs::setRingLabel("infer" + std::to_string(worker));
     std::vector<Request> batch;
     batch.reserve(batch_.max_batch);
     for (;;) {
@@ -167,15 +173,41 @@ InferenceService::workerLoop()
         InferMetrics &metrics = InferMetrics::get();
         metrics.queue_depth.set(static_cast<double>(depth));
 
+        // Queue-wait spans: one per traced request, reconstructed from
+        // its submit timestamp, charged to the submitter's trace id so
+        // the pipeline trace separates time-in-queue from compute.
+        uint64_t batch_trace = 0;
+        if (obs::traceEnabled()) {
+            const uint64_t now_us = monotonicMicros();
+            for (const Request &request : batch) {
+                if (request.trace_id == 0)
+                    continue;
+                if (batch_trace == 0)
+                    batch_trace = request.trace_id;
+                obs::recordSpan(obs::SpanKind::InferQueue,
+                                request.trace_id, request.enqueued_us,
+                                now_us >= request.enqueued_us
+                                    ? now_us - request.enqueued_us
+                                    : 0,
+                                batch.size());
+            }
+        }
+
         std::vector<const graph::EncodedGraph *> graphs;
         graphs.reserve(batch.size());
         for (const Request &request : batch)
             graphs.push_back(&request.graph);
-        std::vector<std::vector<float>> probs =
-            batch.size() == 1
-                ? std::vector<std::vector<float>>{model_.predict(
-                      *graphs[0])}
-                : model_.predictBatch(graphs);
+        std::vector<std::vector<float>> probs;
+        {
+            // Compute span for the whole micro-batch, stamped with the
+            // first traced request's id (arg = batch size).
+            obs::TraceSpan span(obs::SpanKind::InferBatch, batch_trace,
+                                batch.size());
+            probs = batch.size() == 1
+                        ? std::vector<std::vector<float>>{model_.predict(
+                              *graphs[0])}
+                        : model_.predictBatch(graphs);
+        }
 
         batches_.fetch_add(1, std::memory_order_relaxed);
         metrics.completed.inc(batch.size());

@@ -84,9 +84,13 @@ class InferenceService
 
     /**
      * Enqueue a query; the future resolves to per-argument-node MUTATE
-     * probabilities.
+     * probabilities. `trace_id` carries the caller's pipeline trace id
+     * across the thread hand-off (obs::currentTraceId(); 0 = untraced)
+     * so the request's queue wait and its batch's forward pass land in
+     * the same trace as the round that issued it.
      */
-    std::future<std::vector<float>> submit(graph::EncodedGraph graph);
+    std::future<std::vector<float>> submit(graph::EncodedGraph graph,
+                                           uint64_t trace_id = 0);
 
     /** Synchronous convenience wrapper. */
     std::vector<float> infer(const graph::EncodedGraph &graph) const;
@@ -102,9 +106,11 @@ class InferenceService
         graph::EncodedGraph graph;
         std::promise<std::vector<float>> promise;
         std::chrono::steady_clock::time_point enqueued;
+        uint64_t trace_id = 0;     ///< submitter's pipeline trace id
+        uint64_t enqueued_us = 0;  ///< monotonicMicros() at submit
     };
 
-    void workerLoop();
+    void workerLoop(size_t worker);
 
     const Pmm &model_;
     const BatchOptions batch_;

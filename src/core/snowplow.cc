@@ -6,6 +6,7 @@
 #include "graph/encode.h"
 #include "graph/query_graph.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sp::core {
@@ -17,7 +18,6 @@ struct LocalizerMetrics
 {
     obs::Counter &cache_hits;
     obs::Counter &cache_misses;
-    obs::Gauge &hit_ratio;
     obs::Counter &async_submitted;
     obs::Counter &async_ready;
     obs::Counter &async_pending;
@@ -29,7 +29,6 @@ struct LocalizerMetrics
         static LocalizerMetrics metrics{
             reg.counter("snowplow.cache.hit"),
             reg.counter("snowplow.cache.miss"),
-            reg.gauge("snowplow.cache_hit_ratio"),
             reg.counter("snowplow.async.submitted"),
             reg.counter("snowplow.async.ready_hit"),
             reg.counter("snowplow.async.pending_fallback"),
@@ -43,7 +42,13 @@ struct LocalizerMetrics
         (hit ? cache_hits : cache_misses).inc();
         const double total = static_cast<double>(cache_hits.value() +
                                                  cache_misses.value());
-        hit_ratio.set(static_cast<double>(cache_hits.value()) / total);
+        // The ratio gauge is deliberately NOT cached: CampaignEngine
+        // unregisters it between runs so a campaign without a learned
+        // localizer doesn't re-serve a previous run's ratio, and a
+        // cached handle would dangle across that unregister.
+        obs::Registry::global()
+            .gauge("snowplow.cache_hit_ratio")
+            .set(static_cast<double>(cache_hits.value()) / total);
     }
 };
 
@@ -290,7 +295,11 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
         return fallback_.localize(prog, rng, 1);
     PendingQuery pending;
     pending.locations = std::move(query.argument_locations);
-    pending.future = service_.submit(graph::encodeGraph(kernel_, query));
+    // Hand the worker's pipeline trace id across the thread boundary:
+    // the service stamps this request's queue-wait and batch spans
+    // with it, keeping the round's trace intact through the hop.
+    pending.future = service_.submit(graph::encodeGraph(kernel_, query),
+                                     obs::currentTraceId());
     pending_.emplace(key, std::move(pending));
     ++submitted_;
     ++pending_answers_;

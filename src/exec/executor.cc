@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "prog/flatten.h"
 #include "util/logging.h"
 
@@ -15,6 +16,11 @@ ExecResult
 Executor::run(const prog::Prog &prog)
 {
     SP_TIMED("exec.run_us");
+    // Execute-stage span lives here, not in the campaign loop, so the
+    // legacy Fuzzer and localizer probe runs are traced too (arg =
+    // program length).
+    obs::TraceSpan trace_span(obs::SpanKind::Execute,
+                              prog.calls.size());
     ExecResult result;
     kern::KernelState state = kernel_.initialState();
 

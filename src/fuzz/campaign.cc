@@ -5,12 +5,26 @@
 
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "prog/gen.h"
 #include "util/logging.h"
 
 namespace sp::fuzz {
 
 namespace {
+
+/**
+ * Publish a worker's current pipeline stage to the status board. One
+ * relaxed load when nobody is watching (no status server, no tracer
+ * watchdog) — the gate is the whole cost of an unobserved campaign.
+ */
+inline void
+boardStage(const detail::WorkerEnv &env, obs::WorkerStage stage,
+           uint64_t slot = 0)
+{
+    if (obs::introspectionEnabled())
+        obs::statusBoard().setStage(env.worker_id, stage, slot);
+}
 
 const char *
 laneName(MutationLane lane)
@@ -81,6 +95,7 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
         return;
     const uint64_t target = slot / every - shared.board_base - 1;
 
+    boardStage(env, obs::WorkerStage::Checkpoint, slot);
     if (shared.ledger->prefixCompleted() < slot ||
         shared.checkpoints_done.load(std::memory_order_acquire) !=
             target) {
@@ -96,6 +111,7 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
         env.wait_us += microsSince(wait_start);
     }
 
+    obs::TraceSpan span(obs::SpanKind::Checkpoint, slot);
     Checkpoint cp;
     cp.execs = slot;
     cp.edges = shared.corpus->edgeCount();
@@ -147,15 +163,22 @@ executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
         return false;
     const uint64_t slot = grant.begin + 1;  // 1-based execution number
 
+    boardStage(env, obs::WorkerStage::Execute, slot);
     auto result = env.executor->run(program);
     ++env.local_execs;
     if (env.execs_out != nullptr)
         *env.execs_out = slot;
-    if (result.crashed)
-        shared.crashes->record(result.bug_index, program, slot);
+
+    boardStage(env, obs::WorkerStage::Triage, slot);
     size_t new_edges = 0;
-    const bool admitted =
-        shared.corpus->maybeAdd(program, result, slot, &new_edges);
+    bool admitted;
+    {
+        obs::TraceSpan span(obs::SpanKind::Triage, slot);
+        if (result.crashed)
+            shared.crashes->record(result.bug_index, program, slot);
+        admitted =
+            shared.corpus->maybeAdd(program, result, slot, &new_edges);
+    }
 
     detail::LaneTally &tally = shared.lanes[laneIndex(lane)];
     tally.produced.fetch_add(1, std::memory_order_relaxed);
@@ -224,9 +247,18 @@ void
 seedStage(WorkerEnv &env, const kern::Kernel &kernel)
 {
     const FuzzOptions &opts = *env.shared->opts;
-    auto seeds = prog::generateCorpus(*env.rng, kernel.table(),
-                                      opts.seed_corpus_size,
-                                      opts.mutator.gen);
+    // One trace id covers the whole seed round: the generation span
+    // plus every seed execution share it, so the trace shows seeding
+    // as one unit of pipeline work.
+    obs::TraceScope trace(obs::beginTrace());
+    boardStage(env, obs::WorkerStage::Seed);
+    std::vector<prog::Prog> seeds;
+    {
+        obs::TraceSpan span(obs::SpanKind::Seed, opts.seed_corpus_size);
+        seeds = prog::generateCorpus(*env.rng, kernel.table(),
+                                     opts.seed_corpus_size,
+                                     opts.mutator.gen);
+    }
     for (const auto &seed : seeds)
         executeSlot(env, seed, MutationLane::Seed, nullptr,
                     /*bounded=*/false);
@@ -239,6 +271,10 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
     CampaignShared &shared = *env.shared;
     const FuzzOptions &opts = *shared.opts;
     BudgetLedger &ledger = *shared.ledger;
+    if (obs::traceEnabled() || obs::introspectionEnabled()) {
+        obs::setRingLabel("worker" +
+                          std::to_string(env.worker_id));
+    }
 
     while (!ledger.exhausted() && !shared.stopped()) {
         if (shared.corpus->empty()) {
@@ -248,11 +284,18 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
             seedStage(env, kernel);
             continue;
         }
+        // One trace id per scheduler round: every stage below — and
+        // the async localizer's inference hop — stamps its spans with
+        // it, so a round is one reconstructible unit in the trace.
+        obs::TraceScope trace(obs::beginTrace());
+
         // Schedule stage. Copy the picked entry out: base references
         // into the corpus shouldn't be held across mutant executions.
         prog::Prog base_program;
         exec::ExecResult base_result;
         {
+            boardStage(env, obs::WorkerStage::Schedule);
+            obs::TraceSpan span(obs::SpanKind::Schedule);
             const CorpusEntry &picked =
                 env.scheduler->pick(*shared.corpus, *env.rng);
             base_program.calls = picked.program.calls;
@@ -261,17 +304,29 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
 
         // Localize stage, then instantiate + execute per site. The
         // base program is copied once per instantiated mutant.
-        auto sites = env.localizer->localizeWithResult(
-            base_program, base_result, *env.rng,
-            opts.max_sites_per_base);
+        std::vector<mut::ArgLocation> sites;
+        {
+            boardStage(env, obs::WorkerStage::Localize);
+            obs::TraceSpan span(obs::SpanKind::Localize);
+            sites = env.localizer->localizeWithResult(
+                base_program, base_result, *env.rng,
+                opts.max_sites_per_base);
+            span.setArg(sites.size());
+        }
         for (const auto &site : sites) {
             for (size_t m = 0;
                  m < opts.mutations_per_site && !ledger.exhausted();
                  ++m) {
                 prog::Prog mutant;
                 mutant.calls = base_program.calls;
-                if (!env.mutator->instantiateArgMutation(mutant, site,
-                                                         *env.rng))
+                bool instantiated;
+                {
+                    boardStage(env, obs::WorkerStage::Instantiate);
+                    obs::TraceSpan span(obs::SpanKind::Instantiate);
+                    instantiated = env.mutator->instantiateArgMutation(
+                        mutant, site, *env.rng);
+                }
+                if (!instantiated)
                     break;
                 executeSlot(env, mutant, MutationLane::Argument, &site,
                             /*bounded=*/true);
@@ -287,31 +342,36 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
              ++s) {
             prog::Prog mutant;
             mutant.calls = base_program.calls;
-            switch (env.mutator->selectType(*env.rng, mutant)) {
-              case mut::MutationType::ArgumentMutation: {
-                // Selector landed on arguments: one random-site mutant
-                // (the fallback lane even when a learned localizer is
-                // installed, §3.4).
-                mut::RandomLocalizer fallback;
-                auto fallback_sites =
-                    fallback.localize(mutant, *env.rng, 1);
-                if (!fallback_sites.empty()) {
-                    env.mutator->instantiateArgMutation(
-                        mutant, fallback_sites[0], *env.rng);
+            {
+                boardStage(env, obs::WorkerStage::Instantiate);
+                obs::TraceSpan span(obs::SpanKind::Instantiate, 1);
+                switch (env.mutator->selectType(*env.rng, mutant)) {
+                  case mut::MutationType::ArgumentMutation: {
+                    // Selector landed on arguments: one random-site
+                    // mutant (the fallback lane even when a learned
+                    // localizer is installed, §3.4).
+                    mut::RandomLocalizer fallback;
+                    auto fallback_sites =
+                        fallback.localize(mutant, *env.rng, 1);
+                    if (!fallback_sites.empty()) {
+                        env.mutator->instantiateArgMutation(
+                            mutant, fallback_sites[0], *env.rng);
+                    }
+                    break;
+                  }
+                  case mut::MutationType::CallInsertion:
+                    env.mutator->insertCall(mutant, *env.rng);
+                    break;
+                  case mut::MutationType::CallRemoval:
+                    env.mutator->removeCall(mutant, *env.rng);
+                    break;
                 }
-                break;
-              }
-              case mut::MutationType::CallInsertion:
-                env.mutator->insertCall(mutant, *env.rng);
-                break;
-              case mut::MutationType::CallRemoval:
-                env.mutator->removeCall(mutant, *env.rng);
-                break;
             }
             executeSlot(env, mutant, MutationLane::Structural, nullptr,
                         /*bounded=*/true);
         }
     }
+    boardStage(env, obs::WorkerStage::Idle);
     env.wall_us += microsSince(loop_start);
 }
 
@@ -421,6 +481,16 @@ CampaignEngine::run()
     ran_ = true;
     const auto wall_start = std::chrono::steady_clock::now();
 
+    // Campaign-scoped gauges from a previous run must not linger: an
+    // 8-worker campaign followed by a 2-worker one would otherwise
+    // still report fuzz.worker_busy_ratio.w7, and a random-localizer
+    // campaign would re-serve the previous run's cache hit ratio.
+    // These names are looked up fresh at every set (no cached
+    // handles), so unregistering is safe.
+    auto &reg = obs::Registry::global();
+    reg.unregisterGaugesWithPrefix("fuzz.worker_busy_ratio.w");
+    reg.unregisterGaugesWithPrefix("snowplow.cache_hit_ratio");
+
     detail::CampaignShared shared;
     shared.opts = &opts_.fuzz;
     shared.corpus = &corpus_;
@@ -428,6 +498,51 @@ CampaignEngine::run()
     BudgetLedger ledger(opts_.fuzz.exec_budget,
                         opts_.fuzz.checkpoint_every);
     shared.ledger = &ledger;
+
+    // Live introspection: announce the worker lanes and register the
+    // campaign-state provider /status and flight records embed. The
+    // provider references this stack frame, so before run() returns it
+    // is replaced by a frozen final snapshot (post-run scrapes still
+    // see the campaign's end state, with nothing left dangling).
+    obs::statusBoard().reset(opts_.workers);
+    std::function<std::string()> campaign_status = [&shared, &ledger,
+                                                    this] {
+        std::string out = "{\"workers\":";
+        out += std::to_string(opts_.workers);
+        out += ",\"corpus_size\":";
+        out += std::to_string(corpus_.size());
+        out += ",\"frontier_edges\":";
+        out += std::to_string(corpus_.edgeCount());
+        out += ",\"frontier_blocks\":";
+        out += std::to_string(corpus_.blockCount());
+        out += ",\"unique_crashes\":";
+        out += std::to_string(crashes_.uniqueCrashes());
+        out += ",\"budget\":";
+        out += std::to_string(ledger.budget());
+        out += ",\"claimed\":";
+        out += std::to_string(ledger.claimed());
+        out += ",\"completed\":";
+        out += std::to_string(ledger.completed());
+        out += ",\"ledger_watermark\":";
+        out += std::to_string(ledger.prefixCompleted());
+        out += ",\"checkpoints\":";
+        out += std::to_string(shared.checkpoints_done.load(
+            std::memory_order_acquire));
+        out += "}";
+        return out;
+    };
+    obs::setStatusProvider(campaign_status);
+    struct ProviderGuard
+    {
+        const std::function<std::string()> &live;
+
+        ~ProviderGuard()
+        {
+            std::string frozen = live();
+            obs::setStatusProvider(
+                [snapshot = std::move(frozen)] { return snapshot; });
+        }
+    } provider_guard{campaign_status};
 
     std::vector<detail::WorkerEnv> envs(opts_.workers);
     for (size_t w = 0; w < opts_.workers; ++w) {
@@ -459,7 +574,6 @@ CampaignEngine::run()
     for (auto &thread : threads)
         thread.join();
 
-    auto &reg = obs::Registry::global();
     for (size_t w = 0; w < opts_.workers; ++w) {
         const detail::WorkerEnv &env = envs[w];
         const double busy =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace sp::fuzz {
@@ -49,6 +50,10 @@ BudgetLedger::waitForPrefix(uint64_t slot)
 {
     if (prefixCompleted() >= slot)
         return;
+    // The checkpoint-barrier wait is where multi-worker campaigns lose
+    // time to slot skew; a CheckpointWait span makes it visible per
+    // round in the trace (arg = the prefix waited for).
+    obs::TraceSpan span(obs::SpanKind::CheckpointWait, slot);
     std::unique_lock<std::mutex> lock(mu_);
     waiters_.fetch_add(1, std::memory_order_relaxed);
     cv_.wait(lock, [this, slot] {

@@ -197,6 +197,44 @@ Registry::reset()
         histogram->reset();
 }
 
+void
+Registry::visit(
+    const std::function<void(const std::string &, const Counter &)>
+        &on_counter,
+    const std::function<void(const std::string &, const Gauge &)>
+        &on_gauge,
+    const std::function<void(const std::string &, const Histogram &)>
+        &on_histogram) const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (on_counter) {
+        for (const auto &[name, counter] : counters_)
+            on_counter(name, *counter);
+    }
+    if (on_gauge) {
+        for (const auto &[name, gauge] : gauges_)
+            on_gauge(name, *gauge);
+    }
+    if (on_histogram) {
+        for (const auto &[name, histogram] : histograms_)
+            on_histogram(name, *histogram);
+    }
+}
+
+size_t
+Registry::unregisterGaugesWithPrefix(const std::string &prefix)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    size_t removed = 0;
+    for (auto it = gauges_.lower_bound(prefix);
+         it != gauges_.end() && it->first.compare(0, prefix.size(),
+                                                  prefix) == 0;) {
+        it = gauges_.erase(it);
+        ++removed;
+    }
+    return removed;
+}
+
 std::string
 workerMetric(const std::string &base, size_t worker)
 {

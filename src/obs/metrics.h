@@ -21,6 +21,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -149,6 +150,31 @@ class Registry
 
     /** Zero every registered metric (keeps the names). */
     void reset();
+
+    /**
+     * Call the matching visitor for every registered metric, in
+     * sorted name order, under the registry lock. Visitors must not
+     * re-enter the registry. Renders (Prometheus exposition, status
+     * snapshots) build on this instead of each growing a friend.
+     */
+    void visit(
+        const std::function<void(const std::string &, const Counter &)>
+            &on_counter,
+        const std::function<void(const std::string &, const Gauge &)>
+            &on_gauge,
+        const std::function<void(const std::string &,
+                                 const Histogram &)> &on_histogram)
+        const;
+
+    /**
+     * Drop every gauge whose name starts with `prefix`; returns how
+     * many were removed. ONLY safe for names no call site caches a
+     * handle to (handles are otherwise stable for the registry's
+     * lifetime) — in practice the per-campaign worker-tagged gauges
+     * (`fuzz.worker_busy_ratio.w3`), which would otherwise linger in
+     * snapshots of later campaigns run with fewer workers.
+     */
+    size_t unregisterGaugesWithPrefix(const std::string &prefix);
 
   private:
     mutable std::mutex mu_;

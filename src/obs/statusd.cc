@@ -1,0 +1,216 @@
+#include "obs/statusd.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace sp::obs {
+
+namespace {
+
+/** Prometheus metric name: [a-zA-Z0-9_:] only, `sp_` prefixed. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "sp_";
+    out.reserve(name.size() + 3);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+promNumber(double v)
+{
+    if (v != v)
+        return "NaN";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+httpResponse(const char *status, const char *content_type,
+             const std::string &body)
+{
+    std::string out;
+    out.reserve(body.size() + 128);
+    out += "HTTP/1.0 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+void
+sendAll(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent, 0);
+        if (n <= 0)
+            return;
+        sent += static_cast<size_t>(n);
+    }
+}
+
+}  // namespace
+
+std::string
+renderPrometheus()
+{
+    std::string out;
+    out.reserve(4096);
+    Registry::global().visit(
+        [&out](const std::string &name, const Counter &counter) {
+            const std::string prom = promName(name);
+            out += "# TYPE " + prom + " counter\n";
+            out += prom + " " + std::to_string(counter.value()) + "\n";
+        },
+        [&out](const std::string &name, const Gauge &gauge) {
+            const std::string prom = promName(name);
+            out += "# TYPE " + prom + " gauge\n";
+            out += prom + " " + promNumber(gauge.value()) + "\n";
+        },
+        [&out](const std::string &name, const Histogram &histogram) {
+            const std::string prom = promName(name);
+            const HistogramSnapshot snap = histogram.snapshot();
+            out += "# TYPE " + prom + " summary\n";
+            for (const auto &[label, pct] :
+                 {std::pair<const char *, double>{"0.5", 50.0},
+                  {"0.9", 90.0},
+                  {"0.95", 95.0},
+                  {"0.99", 99.0}}) {
+                out += prom + "{quantile=\"" + label + "\"} " +
+                       promNumber(snap.samples.count() == 0
+                                      ? 0.0
+                                      : snap.samples.percentile(pct)) +
+                       "\n";
+            }
+            out += prom + "_sum " +
+                   promNumber(snap.stat.count() == 0
+                                  ? 0.0
+                                  : snap.stat.mean() *
+                                        static_cast<double>(
+                                            snap.stat.count())) +
+                   "\n";
+            out += prom + "_count " +
+                   std::to_string(snap.stat.count()) + "\n";
+        });
+    return out;
+}
+
+StatusServer::StatusServer(uint16_t port)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        SP_FATAL("status server: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        SP_FATAL("status server: cannot bind 127.0.0.1:%u",
+                 static_cast<unsigned>(port));
+    }
+    if (::listen(listen_fd_, 16) != 0)
+        SP_FATAL("status server: listen() failed");
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+
+    introspection_was_enabled_ = introspectionEnabled();
+    setIntrospectionEnabled(true);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+StatusServer::~StatusServer()
+{
+    stopping_.store(true, std::memory_order_release);
+    // Unblock accept(): shut the listening socket down, then close it
+    // in the serving thread's wake.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    if (thread_.joinable())
+        thread_.join();
+    setIntrospectionEnabled(introspection_was_enabled_);
+}
+
+void
+StatusServer::serveLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            continue;
+        }
+        char request[2048];
+        const ssize_t n = ::recv(fd, request, sizeof(request) - 1, 0);
+        if (n <= 0) {
+            ::close(fd);
+            continue;
+        }
+        request[n] = '\0';
+
+        // "GET /path HTTP/1.x" — everything else is a 404/400.
+        std::string path;
+        if (std::strncmp(request, "GET ", 4) == 0) {
+            const char *start = request + 4;
+            const char *end = std::strchr(start, ' ');
+            if (end != nullptr)
+                path.assign(start, static_cast<size_t>(end - start));
+        }
+
+        std::string response;
+        if (path == "/metrics") {
+            response = httpResponse(
+                "200 OK", "text/plain; version=0.0.4",
+                renderPrometheus());
+        } else if (path == "/status") {
+            response = httpResponse("200 OK", "application/json",
+                                    statusJson() + "\n");
+        } else if (path == "/healthz") {
+            response = httpResponse("200 OK", "text/plain", "ok\n");
+        } else if (path.empty()) {
+            response = httpResponse("400 Bad Request", "text/plain",
+                                    "bad request\n");
+        } else {
+            response = httpResponse(
+                "404 Not Found", "text/plain",
+                "not found; try /metrics /status /healthz\n");
+        }
+        // Counted before the reply: a client that saw its response
+        // complete must observe the incremented count.
+        requests_.fetch_add(1, std::memory_order_release);
+        sendAll(fd, response);
+        ::close(fd);
+    }
+}
+
+}  // namespace sp::obs

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Live campaign introspection over HTTP: a tiny dependency-free
+ * listener (plain POSIX sockets, one serving thread) exposing
+ *
+ *   GET /metrics  — Prometheus text exposition rendered from the
+ *                   global metrics registry (counters, gauges, and
+ *                   histograms as summaries with quantiles);
+ *   GET /status   — obs::statusJson(): per-worker current stage and
+ *                   slot age from the status board plus the campaign
+ *                   provider's corpus/ledger/crash snapshot;
+ *   GET /healthz  — "ok" (liveness probe).
+ *
+ * The server binds 127.0.0.1 only — it is an operator window into a
+ * long campaign, not a public endpoint. Port 0 picks an ephemeral
+ * port; drivers print port() so scripts can find it. Constructing a
+ * server flips obs::setIntrospectionEnabled(true) so the status board
+ * populates; destruction restores the previous state.
+ */
+#ifndef SP_OBS_STATUSD_H
+#define SP_OBS_STATUSD_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace sp::obs {
+
+/**
+ * Render the global registry as Prometheus text exposition. Metric
+ * names are prefixed with `sp_` and sanitized (dots → underscores);
+ * histograms become summaries: `<name>{quantile="0.5"} v` lines plus
+ * `<name>_sum` / `<name>_count`.
+ */
+std::string renderPrometheus();
+
+/** The HTTP listener. One serving thread, one request per connection. */
+class StatusServer
+{
+  public:
+    /**
+     * Bind and start serving. @param port  TCP port on 127.0.0.1;
+     * 0 = ephemeral. SP_FATALs when the socket cannot be bound.
+     */
+    explicit StatusServer(uint16_t port);
+
+    /** Stops accepting, closes the socket and joins the thread. */
+    ~StatusServer();
+
+    StatusServer(const StatusServer &) = delete;
+    StatusServer &operator=(const StatusServer &) = delete;
+
+    /** The bound port (the ephemeral pick when constructed with 0). */
+    uint16_t port() const { return port_; }
+
+    /** Requests served so far (tests). */
+    uint64_t requestsServed() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void serveLoop();
+
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    bool introspection_was_enabled_ = false;
+    std::atomic<bool> stopping_{false};
+    std::atomic<uint64_t> requests_{0};
+    std::thread thread_;
+};
+
+}  // namespace sp::obs
+
+#endif  // SP_OBS_STATUSD_H

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -14,9 +15,16 @@ namespace {
 std::atomic<TelemetrySink *> g_sink{nullptr};
 
 // Owns the installed sink; swapped under a mutex so a replacement
-// cannot race shutdown.
+// cannot race shutdown. Shut-down sinks are retired (closed, kept
+// alive) instead of destroyed: an instrumentation thread that loaded
+// the sink pointer an instant before shutdownSink() may still be
+// inside event(), and a retired sink turns that emit into a locked
+// no-op rather than a use-after-free. The retained objects are a few
+// hundred bytes per install — drivers install at most a handful of
+// sinks per process.
 std::mutex g_sink_mutex;
 std::unique_ptr<TelemetrySink> g_sink_owner;
+std::vector<std::unique_ptr<TelemetrySink>> g_retired_sinks;
 
 void
 appendNumber(std::string &out, double v)
@@ -104,10 +112,7 @@ TelemetrySink::TelemetrySink(TelemetryOptions opts)
 
 TelemetrySink::~TelemetrySink()
 {
-    if (file_ != nullptr) {
-        std::fflush(file_);
-        std::fclose(file_);
-    }
+    close();
 }
 
 void
@@ -150,6 +155,8 @@ void
 TelemetrySink::writeLine(std::string &line)
 {
     std::lock_guard<std::mutex> guard(mu_);
+    if (file_ == nullptr)
+        return;
     std::fwrite(line.data(), 1, line.size(), file_);
     if (++events_ % opts_.flush_every == 0)
         std::fflush(file_);
@@ -159,7 +166,19 @@ void
 TelemetrySink::flush()
 {
     std::lock_guard<std::mutex> guard(mu_);
+    if (file_ != nullptr)
+        std::fflush(file_);
+}
+
+void
+TelemetrySink::close()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    if (file_ == nullptr)
+        return;
     std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
 }
 
 uint64_t
@@ -180,6 +199,10 @@ installSink(const TelemetryOptions &opts)
 {
     std::lock_guard<std::mutex> guard(g_sink_mutex);
     g_sink.store(nullptr, std::memory_order_release);
+    if (g_sink_owner != nullptr) {
+        g_sink_owner->close();
+        g_retired_sinks.push_back(std::move(g_sink_owner));
+    }
     g_sink_owner = std::make_unique<TelemetrySink>(opts);
     setTimingEnabled(true);
     g_sink.store(g_sink_owner.get(), std::memory_order_release);
@@ -192,10 +215,18 @@ shutdownSink()
     TelemetrySink *current = g_sink.load(std::memory_order_acquire);
     if (current == nullptr)
         return;
+    // Unpublish first so new emitters stop seeing the sink, write the
+    // final snapshot, then close. The object itself is retired, not
+    // destroyed: a thread that loaded the pointer before the store may
+    // still be mid-event(), and it must land on a live mutex — its
+    // line is either fully written before the snapshot/close win the
+    // lock, or dropped whole by the closed-file check. No partial
+    // interleaving either way.
     g_sink.store(nullptr, std::memory_order_release);
     current->eventJson("registry_snapshot", "registry",
                        Registry::global().snapshotJson());
-    g_sink_owner.reset();
+    current->close();
+    g_retired_sinks.push_back(std::move(g_sink_owner));
 }
 
 }  // namespace sp::obs

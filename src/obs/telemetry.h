@@ -99,6 +99,14 @@ class TelemetrySink
 
     void flush();
 
+    /**
+     * Flush and close the output file. Idempotent. Emits that race
+     * with (or arrive after) close() serialize on the sink's lock and
+     * are dropped whole — a late SP_TIMED/telemetry emit can never
+     * tear a partial line into the file or crash on a dead stream.
+     */
+    void close();
+
     uint64_t eventsWritten() const;
 
   private:
@@ -122,8 +130,12 @@ void installSink(const TelemetryOptions &opts);
 
 /**
  * Append the global registry snapshot as a "registry_snapshot" event,
- * then close and uninstall the sink. No-op when none is installed.
- * Leaves timing enabled state untouched for any still-running threads.
+ * then close and uninstall the sink. Idempotent: a second call (CLI
+ * teardown racing an atexit handler, say) is a no-op, and the sink
+ * object outlives the uninstall so a thread that loaded the sink
+ * pointer just before shutdown completes (or drops) its emit safely
+ * instead of writing through freed memory. Leaves timing enabled
+ * state untouched for any still-running threads.
  */
 void shutdownSink();
 

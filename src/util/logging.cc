@@ -11,6 +11,11 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
 
+std::atomic<PanicHook> g_panic_hook{nullptr};
+
+// Guards against a panic raised from inside the panic hook itself.
+thread_local bool t_in_panic_hook = false;
+
 // Serializes log lines so concurrent fuzzer threads do not interleave.
 std::mutex g_log_mutex;
 
@@ -60,6 +65,12 @@ logLevel()
     return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void
+setPanicHook(PanicHook hook)
+{
+    g_panic_hook.store(hook, std::memory_order_release);
+}
+
 uint64_t
 monotonicMicros()
 {
@@ -79,6 +90,16 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     vlogLine("panic", file, line, fmt, args);
     va_end(args);
+    if (PanicHook hook = g_panic_hook.load(std::memory_order_acquire);
+        hook != nullptr && !t_in_panic_hook) {
+        t_in_panic_hook = true;
+        char message[512];
+        va_list hook_args;
+        va_start(hook_args, fmt);
+        std::vsnprintf(message, sizeof(message), fmt, hook_args);
+        va_end(hook_args);
+        hook(message);
+    }
     std::abort();
 }
 

@@ -38,6 +38,15 @@ LogLevel logLevel();
  */
 uint64_t monotonicMicros();
 
+/**
+ * Hook invoked (with the formatted message) after a panic is logged
+ * and before the process aborts — the seam the observability layer's
+ * flight recorder hangs off. nullptr disarms. The hook must not
+ * panic; a recursive panic skips the hook and aborts directly.
+ */
+using PanicHook = void (*)(const char *message);
+void setPanicHook(PanicHook hook);
+
 namespace detail {
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/statusd.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
 
@@ -254,6 +255,125 @@ TEST(TelemetrySink, InstallShutdownAppendsRegistrySnapshot)
     EXPECT_NE(lines[1].find("\"registry\":{\"counters\":{"),
               std::string::npos);
     std::remove(path.c_str());
+}
+
+TEST(TelemetrySink, ShutdownIsIdempotent)
+{
+    const std::string path = "/tmp/sp_obs_test_idempotent.jsonl";
+    installSink({.path = path});
+    ASSERT_NE(sink(), nullptr);
+    shutdownSink();
+    EXPECT_EQ(sink(), nullptr);
+    shutdownSink();  // second shutdown: no crash, no double snapshot
+    EXPECT_EQ(sink(), nullptr);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    size_t snapshots = 0;
+    for (std::string line; std::getline(in, line);)
+        snapshots += line.find("registry_snapshot") != std::string::npos;
+    EXPECT_EQ(snapshots, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TelemetrySink, EmitAfterShutdownIsSafeAndDropped)
+{
+    const std::string path = "/tmp/sp_obs_test_late_emit.jsonl";
+    installSink({.path = path});
+    TelemetrySink *stale = sink();  // emitter that cached the pointer
+    ASSERT_NE(stale, nullptr);
+    stale->event("before", {{"n", 1}});
+    shutdownSink();
+    // The retired sink object stays alive: a racing emitter that read
+    // the pointer before shutdown must hit a closed sink, not freed
+    // memory. The event is dropped whole.
+    stale->event("after", {{"n", 2}});
+    stale->flush();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"ev\":\"before\""), std::string::npos);
+    EXPECT_EQ(lines[1].find("{\"ev\":\"registry_snapshot\""), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Registry, VisitWalksAllMetricFamiliesSorted)
+{
+    Registry reg;
+    reg.counter("z.count").inc(4);
+    reg.counter("a.count").inc(1);
+    reg.gauge("mid.level").set(2.5);
+    reg.histogram("lat.us").record(10.0);
+    reg.histogram("lat.us").record(20.0);
+
+    std::vector<std::string> counters;
+    std::vector<std::string> gauges;
+    std::vector<std::string> hists;
+    reg.visit(
+        [&](const std::string &name, const Counter &c) {
+            counters.push_back(name + "=" + std::to_string(c.value()));
+        },
+        [&](const std::string &name, const Gauge &g) {
+            gauges.push_back(name + "=" + std::to_string(g.value()));
+        },
+        [&](const std::string &name, const Histogram &h) {
+            hists.push_back(name + "#" + std::to_string(h.count()));
+        });
+    ASSERT_EQ(counters.size(), 2u);
+    EXPECT_EQ(counters[0], "a.count=1");  // sorted
+    EXPECT_EQ(counters[1], "z.count=4");
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_EQ(gauges[0].find("mid.level=2.5"), 0u);
+    ASSERT_EQ(hists.size(), 1u);
+    EXPECT_EQ(hists[0], "lat.us#2");
+}
+
+TEST(Registry, UnregisterGaugesWithPrefixDropsOnlyMatches)
+{
+    Registry reg;
+    reg.gauge("run.worker.w0").set(1.0);
+    reg.gauge("run.worker.w1").set(1.0);
+    reg.gauge("run.workers_total").set(2.0);
+    reg.gauge("other.metric").set(3.0);
+    reg.unregisterGaugesWithPrefix("run.worker.w");
+
+    const std::string snapshot = reg.snapshotJson();
+    EXPECT_EQ(snapshot.find("run.worker.w0"), std::string::npos);
+    EXPECT_EQ(snapshot.find("run.worker.w1"), std::string::npos);
+    EXPECT_NE(snapshot.find("run.workers_total"), std::string::npos);
+    EXPECT_NE(snapshot.find("other.metric"), std::string::npos);
+    // Re-creating a dropped gauge starts fresh.
+    EXPECT_EQ(reg.gauge("run.worker.w0").value(), 0.0);
+}
+
+TEST(Prometheus, RendersCountersGaugesAndSummaries)
+{
+    auto &reg = Registry::global();
+    reg.counter("promtest.events.total").inc(7);
+    reg.gauge("promtest.depth").set(1.5);
+    for (int i = 1; i <= 100; ++i)
+        reg.histogram("promtest.lat_us").record(i);
+
+    const std::string text = renderPrometheus();
+    // Dots sanitize to underscores, everything gains the sp_ prefix.
+    EXPECT_NE(text.find("# TYPE sp_promtest_events_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("sp_promtest_events_total 7"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE sp_promtest_depth gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("sp_promtest_depth 1.5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE sp_promtest_lat_us summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("sp_promtest_lat_us{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("sp_promtest_lat_us_count 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("sp_promtest_lat_us_sum"), std::string::npos);
 }
 
 }  // namespace
