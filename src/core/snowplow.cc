@@ -21,6 +21,11 @@ struct LocalizerMetrics
     obs::Counter &async_submitted;
     obs::Counter &async_ready;
     obs::Counter &async_pending;
+    /** Cached like the counters: CampaignEngine scopes this gauge per
+     *  campaign with resetGaugesWithPrefix (value to 0, name stays
+     *  registered), so the handle never dangles and lookups stay off
+     *  the registry mutex. */
+    obs::Gauge &cache_hit_ratio;
 
     static LocalizerMetrics &
     get()
@@ -32,6 +37,7 @@ struct LocalizerMetrics
             reg.counter("snowplow.async.submitted"),
             reg.counter("snowplow.async.ready_hit"),
             reg.counter("snowplow.async.pending_fallback"),
+            reg.gauge("snowplow.cache_hit_ratio"),
         };
         return metrics;
     }
@@ -42,13 +48,8 @@ struct LocalizerMetrics
         (hit ? cache_hits : cache_misses).inc();
         const double total = static_cast<double>(cache_hits.value() +
                                                  cache_misses.value());
-        // The ratio gauge is deliberately NOT cached: CampaignEngine
-        // unregisters it between runs so a campaign without a learned
-        // localizer doesn't re-serve a previous run's ratio, and a
-        // cached handle would dangle across that unregister.
-        obs::Registry::global()
-            .gauge("snowplow.cache_hit_ratio")
-            .set(static_cast<double>(cache_hits.value()) / total);
+        cache_hit_ratio.set(static_cast<double>(cache_hits.value()) /
+                            total);
     }
 };
 

@@ -485,11 +485,12 @@ CampaignEngine::run()
     // 8-worker campaign followed by a 2-worker one would otherwise
     // still report fuzz.worker_busy_ratio.w7, and a random-localizer
     // campaign would re-serve the previous run's cache hit ratio.
-    // These names are looked up fresh at every set (no cached
-    // handles), so unregistering is safe.
+    // Worker gauges are unregistered (looked up fresh at every set,
+    // no cached handles); the cache ratio is only reset to 0 because
+    // the localizer hot path holds a cached handle to it.
     auto &reg = obs::Registry::global();
     reg.unregisterGaugesWithPrefix("fuzz.worker_busy_ratio.w");
-    reg.unregisterGaugesWithPrefix("snowplow.cache_hit_ratio");
+    reg.resetGaugesWithPrefix("snowplow.cache_hit_ratio");
 
     detail::CampaignShared shared;
     shared.opts = &opts_.fuzz;
@@ -503,7 +504,10 @@ CampaignEngine::run()
     // campaign-state provider /status and flight records embed. The
     // provider references this stack frame, so before run() returns it
     // is replaced by a frozen final snapshot (post-run scrapes still
-    // see the campaign's end state, with nothing left dangling).
+    // see the campaign's end state). statusJson() invokes the provider
+    // under the same mutex setStatusProvider() takes, so the swap in
+    // ~ProviderGuard also *waits out* any in-flight invocation — once
+    // it returns, nothing can touch these stack captures again.
     obs::statusBoard().reset(opts_.workers);
     std::function<std::string()> campaign_status = [&shared, &ledger,
                                                     this] {

@@ -176,6 +176,16 @@ class Registry
      */
     size_t unregisterGaugesWithPrefix(const std::string &prefix);
 
+    /**
+     * Zero every gauge whose name starts with `prefix` (names stay
+     * registered, so cached handles stay valid); returns how many
+     * were reset. The campaign-scoping tool for gauges that hot paths
+     * hold handles to (`snowplow.cache_hit_ratio`), where unregister
+     * would either dangle the handle or force a registry lookup per
+     * update.
+     */
+    size_t resetGaugesWithPrefix(const std::string &prefix);
+
   private:
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

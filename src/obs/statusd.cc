@@ -143,21 +143,24 @@ StatusServer::StatusServer(uint16_t port)
                   &len);
     port_ = ntohs(addr.sin_port);
 
-    introspection_was_enabled_ = introspectionEnabled();
-    setIntrospectionEnabled(true);
+    claimIntrospection();
     thread_ = std::thread([this] { serveLoop(); });
 }
 
 StatusServer::~StatusServer()
 {
-    stopping_.store(true, std::memory_order_release);
-    // Unblock accept(): shut the listening socket down, then close it
-    // in the serving thread's wake.
+    // Unblock accept() with shutdown() only — the serving thread owns
+    // the fd and closes it once it observes stopping_. Closing here
+    // would race the loop's next accept(): the fd number could be
+    // reused by a concurrent open and accept() would target an
+    // unrelated descriptor. stopping_ is set *after* the shutdown so
+    // the loop's close is ordered strictly behind it (release/acquire
+    // on stopping_).
     ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
+    stopping_.store(true, std::memory_order_release);
     if (thread_.joinable())
         thread_.join();
-    setIntrospectionEnabled(introspection_was_enabled_);
+    releaseIntrospection();
 }
 
 void
@@ -166,8 +169,13 @@ StatusServer::serveLoop()
     for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
-            if (stopping_.load(std::memory_order_acquire))
+            if (stopping_.load(std::memory_order_acquire)) {
+                ::close(listen_fd_);
                 return;
+            }
+            // Transient accept failure while live; after shutdown()
+            // this spins on EINVAL for at most the instant until the
+            // destructor's stopping_ store becomes visible.
             continue;
         }
         char request[2048];

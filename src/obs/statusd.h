@@ -14,8 +14,9 @@
  * The server binds 127.0.0.1 only — it is an operator window into a
  * long campaign, not a public endpoint. Port 0 picks an ephemeral
  * port; drivers print port() so scripts can find it. Constructing a
- * server flips obs::setIntrospectionEnabled(true) so the status board
- * populates; destruction restores the previous state.
+ * server takes an obs::claimIntrospection() claim so the status board
+ * populates; destruction releases it (reference-counted, so a tracer
+ * or second server keeps the board live).
  */
 #ifndef SP_OBS_STATUSD_H
 #define SP_OBS_STATUSD_H
@@ -63,9 +64,10 @@ class StatusServer
   private:
     void serveLoop();
 
+    /** Closed by serveLoop after it observes stopping_ (never by the
+     *  destructor, which only shutdown()s — see ~StatusServer). */
     int listen_fd_ = -1;
     uint16_t port_ = 0;
-    bool introspection_was_enabled_ = false;
     std::atomic<bool> stopping_{false};
     std::atomic<uint64_t> requests_{0};
     std::thread thread_;

@@ -17,7 +17,10 @@ namespace sp::obs {
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
-std::atomic<bool> g_introspection_enabled{false};
+
+/** Introspection claims: tracer + each status server hold one while
+ *  alive; the board is live while any claim is held. */
+std::atomic<int> g_introspection_claims{0};
 
 thread_local uint64_t t_trace_id = 0;
 
@@ -413,7 +416,9 @@ installTracer(const TraceOptions &opts)
     g_auto_dumped.store(false, std::memory_order_release);
     g_exporting.store(true, std::memory_order_release);
     g_trace_enabled.store(true, std::memory_order_release);
-    setIntrospectionEnabled(true);
+    // Released by shutdownTracer() — the watchdog reads the board, so
+    // the claim must outlive it, not any status server.
+    claimIntrospection();
     if (opts.stall_timeout_us > 0) {
         state.watchdog_stop.store(false, std::memory_order_release);
         state.watchdog = std::thread(&watchdogLoop);
@@ -453,6 +458,7 @@ shutdownTracer()
         state.export_spans.shrink_to_fit();
     }
     disarmCrashHooks();
+    releaseIntrospection();
     if (!path.empty()) {
         std::FILE *file = std::fopen(path.c_str(), "w");
         if (file == nullptr) {
@@ -632,13 +638,25 @@ statusBoard()
 bool
 introspectionEnabled()
 {
-    return g_introspection_enabled.load(std::memory_order_relaxed);
+    return g_introspection_claims.load(std::memory_order_relaxed) > 0;
 }
 
 void
-setIntrospectionEnabled(bool enabled)
+claimIntrospection()
 {
-    g_introspection_enabled.store(enabled, std::memory_order_relaxed);
+    g_introspection_claims.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+releaseIntrospection()
+{
+    // Clamped at zero so an unmatched release (test teardown sweeping
+    // up) can never disable a claim someone else still holds.
+    int claims = g_introspection_claims.load(std::memory_order_relaxed);
+    while (claims > 0 &&
+           !g_introspection_claims.compare_exchange_weak(
+               claims, claims - 1, std::memory_order_relaxed)) {
+    }
 }
 
 void
@@ -676,13 +694,17 @@ statusJson()
         out += "}";
     }
     out += "],\"campaign\":";
-    std::function<std::string()> provider;
     {
+        // Invoked under the registration mutex so setStatusProvider()
+        // cannot return while an old provider is still running: once a
+        // caller has swapped the provider, no thread can be executing
+        // the previous one (whose captures may be about to die with a
+        // stack frame).
         std::lock_guard<std::mutex> lock(g_status_provider_mu);
-        provider = g_status_provider;
+        const std::string campaign =
+            g_status_provider ? g_status_provider() : "";
+        out += campaign.empty() ? "{}" : campaign;
     }
-    const std::string campaign = provider ? provider() : "";
-    out += campaign.empty() ? "{}" : campaign;
     out += "}";
     return out;
 }

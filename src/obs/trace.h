@@ -249,14 +249,27 @@ StatusBoard &statusBoard();
 
 /** Cached gate for status-board updates (tracer or status server). */
 bool introspectionEnabled();
-void setIntrospectionEnabled(bool enabled);
+
+/**
+ * Reference-counted enablement: the tracer and each status server
+ * take a claim for their lifetime (installTracer/StatusServer claim,
+ * shutdownTracer/~StatusServer release), so tearing one consumer down
+ * never blinds another whose watchdog is still armed. Release is
+ * clamped at zero.
+ */
+void claimIntrospection();
+void releaseIntrospection();
 
 /**
  * Register a callable returning a JSON object with campaign-level
  * state (corpus size, ledger watermark, ...); it is embedded under
  * "campaign" in statusJson() and flight records. Pass nullptr to
  * clear. The callable runs on server/watchdog threads and must be
- * safe concurrently with the campaign.
+ * safe concurrently with the campaign, and must not call back into
+ * setStatusProvider()/statusJson(): it is invoked under the
+ * registration mutex, which is what guarantees that once
+ * setStatusProvider() returns, no in-flight invocation of the
+ * previous provider remains (safe to destroy its captures).
  */
 void setStatusProvider(std::function<std::string()> provider);
 

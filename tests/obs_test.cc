@@ -350,6 +350,27 @@ TEST(Registry, UnregisterGaugesWithPrefixDropsOnlyMatches)
     EXPECT_EQ(reg.gauge("run.worker.w0").value(), 0.0);
 }
 
+TEST(Registry, ResetGaugesWithPrefixZeroesInPlace)
+{
+    Registry reg;
+    Gauge &ratio = reg.gauge("cache.hit_ratio");
+    ratio.set(0.75);
+    reg.gauge("cache.depth").set(9.0);
+    reg.gauge("other.metric").set(3.0);
+    EXPECT_EQ(reg.resetGaugesWithPrefix("cache."), 2u);
+
+    // Names stay registered, so handles taken before the reset are
+    // still the live metric — the property the localizer hot path
+    // relies on.
+    EXPECT_EQ(ratio.value(), 0.0);
+    ratio.set(0.5);
+    EXPECT_EQ(reg.gauge("cache.hit_ratio").value(), 0.5);
+    EXPECT_EQ(reg.gauge("other.metric").value(), 3.0);
+    const std::string snapshot = reg.snapshotJson();
+    EXPECT_NE(snapshot.find("\"cache.depth\":0"), std::string::npos);
+    EXPECT_EQ(reg.resetGaugesWithPrefix("nope."), 0u);
+}
+
 TEST(Prometheus, RendersCountersGaugesAndSummaries)
 {
     auto &reg = Registry::global();

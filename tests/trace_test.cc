@@ -140,7 +140,9 @@ class TracerTest : public ::testing::Test
     void TearDown() override
     {
         obs::shutdownTracer();
-        obs::setIntrospectionEnabled(false);
+        // Drop any claim a test leaked (release clamps at zero, so
+        // this never disables a claim held elsewhere).
+        obs::releaseIntrospection();
         obs::setStatusProvider(nullptr);
     }
 };
@@ -352,7 +354,7 @@ TEST_F(TracerTest, StatusJsonEmbedsCampaignStateDuringRun)
 {
     // Scrape /status-equivalent JSON while a campaign is live: the
     // provider must expose corpus/ledger/crash state.
-    obs::setIntrospectionEnabled(true);
+    obs::claimIntrospection();
     std::atomic<bool> saw_campaign{false};
     std::thread scraper([&] {
         for (int i = 0; i < 2000 && !saw_campaign.load(); ++i) {
@@ -388,6 +390,8 @@ TEST_F(TracerTest, WorkerGaugesDoNotLingerAcrossCampaigns)
 
     auto engine2 = core::makeSyzkallerCampaign(testKernel(),
                                                smallCampaign(2, 19));
+    // Plant a stale learned-localizer ratio from "a previous run".
+    reg.gauge("snowplow.cache_hit_ratio").set(0.77);
     engine2->run();
     const std::string snapshot = reg.snapshotJson();
     EXPECT_NE(snapshot.find("fuzz.worker_busy_ratio.w1"),
@@ -396,10 +400,36 @@ TEST_F(TracerTest, WorkerGaugesDoNotLingerAcrossCampaigns)
               std::string::npos);
     EXPECT_EQ(snapshot.find("fuzz.worker_busy_ratio.w3"),
               std::string::npos);
-    // The learned-localizer cache ratio is campaign-scoped too: a run
-    // that never touches the cache serves no stale ratio.
-    EXPECT_EQ(snapshot.find("snowplow.cache_hit_ratio"),
+    // The learned-localizer cache ratio is campaign-scoped too, but
+    // the localizer hot path caches a handle to it, so campaigns zero
+    // it in place (resetGaugesWithPrefix) instead of unregistering: a
+    // run that never touches the cache serves 0, not a stale ratio.
+    EXPECT_EQ(snapshot.find("\"snowplow.cache_hit_ratio\":0.77"),
               std::string::npos);
+    EXPECT_NE(snapshot.find("\"snowplow.cache_hit_ratio\":0"),
+              std::string::npos);
+}
+
+TEST_F(TracerTest, IntrospectionClaimsAreReferenceCounted)
+{
+    ASSERT_FALSE(obs::introspectionEnabled());
+    obs::installTracer({});  // tracer takes a claim
+    EXPECT_TRUE(obs::introspectionEnabled());
+    {
+        obs::StatusServer server(0);  // second claim
+        EXPECT_TRUE(obs::introspectionEnabled());
+    }
+    // Tearing the server down must not blind the tracer (its stall
+    // watchdog still reads the board).
+    EXPECT_TRUE(obs::introspectionEnabled());
+    obs::shutdownTracer();
+    EXPECT_FALSE(obs::introspectionEnabled());
+    // An unmatched release clamps at zero instead of going negative.
+    obs::releaseIntrospection();
+    obs::claimIntrospection();
+    EXPECT_TRUE(obs::introspectionEnabled());
+    obs::releaseIntrospection();
+    EXPECT_FALSE(obs::introspectionEnabled());
 }
 
 TEST_F(TracerTest, ManualFlightRecordDumpsRingsAndRegistry)
