@@ -12,9 +12,13 @@ using namespace sp;
 
 namespace {
 
-constexpr const char *kCheckpointPath = "/tmp/snowplow_eval_pmm.ckpt";
+// The cache path is versioned with the checkpoint format: a stale
+// cache from a build with an older format must miss (and retrain), not
+// die in loadParameters' format check.
+constexpr const char *kCheckpointPath =
+    "/tmp/snowplow_eval_pmm.v2.ckpt";
 constexpr const char *kThresholdPath =
-    "/tmp/snowplow_eval_pmm.threshold";
+    "/tmp/snowplow_eval_pmm.v2.threshold";
 
 float g_threshold = 0.5f;
 

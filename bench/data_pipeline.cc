@@ -1,0 +1,118 @@
+// Measures the data-pipeline additions: shard store write/load/merge
+// throughput, streaming-vs-in-memory training cost (the §3.3 training
+// loop fed from disk), and the end-to-end harvest rate of a campaign
+// with the continual-learning hook installed.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/common.h"
+#include "core/train.h"
+#include "data/harvest.h"
+#include "data/loader.h"
+#include "data/store.h"
+#include "fuzz/campaign.h"
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace sp;
+    std::printf("=== Data pipeline: store, loader, harvest ===\n\n");
+
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+    auto opts = spbench::evalDatasetOptions();
+    auto start = std::chrono::steady_clock::now();
+    auto dataset = core::collectDataset(kernel, opts);
+    const double collect_s = secondsSince(start);
+    const size_t examples = dataset.train.size() +
+                            dataset.valid.size() + dataset.eval.size();
+    std::printf("collect : %zu bases, %zu examples in %.2fs\n",
+                dataset.bases.size(), examples, collect_s);
+
+    const std::string dir = "/tmp/spbench_data_pipeline";
+    start = std::chrono::steady_clock::now();
+    const auto paths = data::writeStore(dataset, dir, 4);
+    const double write_s = secondsSince(start);
+    const auto stats = data::statStore(paths);
+    std::printf("write   : %zu shards, %llu bytes in %.3fs "
+                "(%.1f MB/s)\n",
+                paths.size(),
+                static_cast<unsigned long long>(stats.totals.bytes),
+                write_s,
+                static_cast<double>(stats.totals.bytes) / 1e6 / write_s);
+
+    start = std::chrono::steady_clock::now();
+    const auto merged = data::mergeStore(paths, dir + "/merged.spds");
+    const double merge_s = secondsSince(start);
+    std::printf("merge   : %llu bases, %llu examples in %.3fs\n",
+                static_cast<unsigned long long>(merged.bases),
+                static_cast<unsigned long long>(merged.examples()),
+                merge_s);
+
+    start = std::chrono::steady_clock::now();
+    auto loaded = data::loadStore(kernel, {dir + "/merged.spds"});
+    const double load_s = secondsSince(start);
+    std::printf("load    : %zu bases re-executed + verified in %.2fs\n",
+                loaded.bases.size(), load_s);
+
+    // Streaming vs in-memory training on the loaded store.
+    core::TrainOptions train_opts;
+    train_opts.epochs = 2;
+    train_opts.max_train_examples = 400;
+    core::PmmConfig config;
+    config.dim = 24;
+    config.token_dim = 8;
+    {
+        core::Pmm model(config);
+        start = std::chrono::steady_clock::now();
+        auto history = core::trainPmm(model, loaded, train_opts);
+        std::printf("train   : in-memory %.2fs (valid F1 %.3f)\n",
+                    secondsSince(start), history.best_valid.f1);
+    }
+    {
+        core::Pmm model(config);
+        data::StreamSource source(loaded);
+        start = std::chrono::steady_clock::now();
+        auto history =
+            core::trainPmmFromSource(model, loaded, source, train_opts);
+        std::printf("train   : streaming %.2fs (valid F1 %.3f)\n",
+                    secondsSince(start), history.best_valid.f1);
+    }
+
+    // Harvest rate of a live campaign.
+    data::HarvestOptions harvest_opts;
+    harvest_opts.dir = dir;
+    harvest_opts.shard_name = "harvest.spds";
+    data::Harvester harvester(kernel, harvest_opts);
+    fuzz::CampaignOptions campaign_opts;
+    campaign_opts.workers = 4;
+    campaign_opts.fuzz.exec_budget = 4 * spbench::kHourInExecs;
+    campaign_opts.on_mutation = harvester.hook();
+    auto engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
+    start = std::chrono::steady_clock::now();
+    engine->run();
+    harvester.close();
+    const double fuzz_s = secondsSince(start);
+    const auto hstats = harvester.stats();
+    std::printf("harvest : %llu examples over %llu bases in %.2fs "
+                "(%llu offered, %llu dropped, %llu discarded)\n",
+                static_cast<unsigned long long>(hstats.examples),
+                static_cast<unsigned long long>(hstats.bases), fuzz_s,
+                static_cast<unsigned long long>(hstats.offered),
+                static_cast<unsigned long long>(hstats.dropped),
+                static_cast<unsigned long long>(hstats.discarded));
+    return 0;
+}

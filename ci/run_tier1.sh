@@ -90,9 +90,9 @@ validate_jsonl "$snowplow" \
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
-    obs_test trace_test
+    obs_test trace_test data_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test)$'
+    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -239,5 +239,34 @@ print(f"introspection smoke: port {port}, {len(status['workers'])} "
       f"workers, {len(events)} trace events, "
       f"{len(required)} required metrics present")
 PY
+
+# Stage 6: dataset store round-trip smoke — collect a store into
+# shards, merge/compact them, then train one epoch streamed from disk
+# and one epoch in-memory and require identical eval metrics (the
+# determinism-parity contract of data::StreamSource), plus a short
+# harvesting campaign whose shard must load and stat cleanly.
+store_dir=$(mktemp -d /tmp/sp_ci_store.XXXXXX)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect"; rm -rf "$store_dir"' EXIT
+./build/examples/snowplow_cli dataset collect --out "$store_dir" \
+    --shards 2 --corpus 60 --mutations 60 > /dev/null
+./build/examples/snowplow_cli dataset merge \
+    --out "$store_dir/merged.spds" \
+    "$store_dir"/shard-000.spds "$store_dir"/shard-001.spds > /dev/null
+./build/examples/snowplow_cli dataset stats "$store_dir/merged.spds" \
+    | grep -q 'truncated' || {
+        echo "dataset stats: missing summary line"; exit 1; }
+./build/examples/snowplow_cli train --data "$store_dir/merged.spds" \
+    --stream 1 --epochs 1 --dim 16 --token-dim 8 \
+    | grep '^eval:' > "$store_dir/eval_stream.txt"
+./build/examples/snowplow_cli train --data "$store_dir/merged.spds" \
+    --stream 0 --epochs 1 --dim 16 --token-dim 8 \
+    | grep '^eval:' > "$store_dir/eval_memory.txt"
+diff "$store_dir/eval_stream.txt" "$store_dir/eval_memory.txt" || {
+    echo "stream/in-memory training parity broken"; exit 1; }
+./build/examples/snowplow_cli fuzz --budget 3000 --seed 1 --workers 2 \
+    --harvest-dir "$store_dir/harvest" > /dev/null
+./build/examples/snowplow_cli dataset stats \
+    "$store_dir/harvest/harvest-000.spds" > /dev/null
+echo "dataset store round-trip + streaming parity: OK"
 
 echo "tier-1 + telemetry + perf + introspection smoke: OK"

@@ -5,7 +5,7 @@
 //       edges, bug sites).
 //
 //   snowplow_cli fuzz [--budget N] [--seed N] [--workers N]
-//                     [--pmm CKPT] [--async W]
+//                     [--pmm CKPT] [--async W] [--harvest-dir DIR]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
 //       the coverage timeline and crash summary. --workers N runs the
@@ -15,8 +15,24 @@
 //       of W threads instead of predicting inline (§3.4 deployment).
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
-//                      [--out CKPT]
-//       Collect a mutation dataset and train a PMM.
+//                      [--out CKPT] [--data SHARD]... [--stream 0|1]
+//                      [--state CKPT] [--resume 1]
+//       Collect a mutation dataset and train a PMM. With --data the
+//       dataset is loaded from example-store shards instead of being
+//       collected, and trained through the streaming prefetch loader
+//       (--stream 0 forces the in-memory path; both are bit-identical
+//       for the same seed). --state writes a resumable checkpoint
+//       (parameters + optimizer + trainer cursor) after every epoch;
+//       --resume 1 continues from it bit-identically.
+//
+//   snowplow_cli dataset collect --out DIR [--shards N] [--corpus N]
+//                                [--mutations N] [--data-seed N]
+//   snowplow_cli dataset merge --out FILE SHARD... [--merge-seed N]
+//                              [--cap N]
+//   snowplow_cli dataset stats SHARD...
+//       The sharded example store: collect a dataset to shards,
+//       merge/compact shards (dedupe + popularity cap + split-by-base
+//       re-roll), and count a store's contents.
 //
 //   snowplow_cli directed --target BLOCK [--pmm CKPT] [--budget N]
 //       Directed campaign toward one block, baseline vs Snowplow-D.
@@ -47,16 +63,22 @@
 //     --stall-timeout-ms MS     watchdog: dump a flight record when a
 //                               worker sits in one stage this long
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/directed.h"
 #include "core/snowplow.h"
 #include "core/train.h"
+#include "data/harvest.h"
+#include "data/loader.h"
+#include "data/store.h"
 #include "kernel/subsystems.h"
 #include "nn/serialize.h"
 #include "obs/statusd.h"
@@ -69,15 +91,25 @@ namespace {
 
 using namespace sp;
 
-/** Minimal --flag value parser. */
+/**
+ * Minimal argument parser: `--flag value` pairs plus bare positionals
+ * (subcommand names, shard paths). A repeated flag keeps every value
+ * (getAll); get/getU64 return the last one.
+ */
 class Args
 {
   public:
     Args(int argc, char **argv)
     {
-        for (int i = 2; i + 1 < argc; i += 2) {
-            if (std::strncmp(argv[i], "--", 2) == 0)
+        for (int i = 2; i < argc;) {
+            if (std::strncmp(argv[i], "--", 2) == 0 && i + 1 < argc) {
                 values_[argv[i] + 2] = argv[i + 1];
+                ordered_.emplace_back(argv[i] + 2, argv[i + 1]);
+                i += 2;
+            } else {
+                positionals_.emplace_back(argv[i]);
+                i += 1;
+            }
         }
     }
 
@@ -102,8 +134,33 @@ class Args
         return values_.count(key) != 0;
     }
 
+    /** Every value of a repeated flag, in command-line order. */
+    std::vector<std::string>
+    getAll(const std::string &key) const
+    {
+        std::vector<std::string> out;
+        for (const auto &[k, v] : ordered_) {
+            if (k == key)
+                out.push_back(v);
+        }
+        return out;
+    }
+
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    std::string
+    positional(size_t i, const std::string &fallback = "") const
+    {
+        return i < positionals_.size() ? positionals_[i] : fallback;
+    }
+
   private:
     std::map<std::string, std::string> values_;
+    std::vector<std::pair<std::string, std::string>> ordered_;
+    std::vector<std::string> positionals_;
 };
 
 /** "--trace-sample 1/64" or "--trace-sample 64" → keep 1 in 64. */
@@ -162,6 +219,18 @@ cmdFuzz(const Args &args)
         std::max<uint64_t>(1, args.getU64("workers", 1)));
     campaign_opts.fuzz = opts;
 
+    // --harvest-dir DIR: convert the campaign's successful mutations
+    // into training examples, appended to an open shard as we fuzz.
+    std::unique_ptr<data::Harvester> harvester;
+    if (args.has("harvest-dir")) {
+        data::HarvestOptions harvest_opts;
+        harvest_opts.dir = args.get("harvest-dir", ".");
+        harvest_opts.seed = opts.seed;
+        harvester = std::make_unique<data::Harvester>(kernel,
+                                                      harvest_opts);
+        campaign_opts.on_mutation = harvester->hook();
+    }
+
     core::Pmm model;
     const std::string ckpt = args.get("pmm", "");
     const bool snowplow = !ckpt.empty() &&
@@ -207,6 +276,17 @@ cmdFuzz(const Args &args)
                 report.final_edges, engine->crashes().uniqueCrashes(),
                 engine->crashes().newCrashes(),
                 engine->crashes().reproducedCrashes());
+    if (harvester) {
+        harvester->close();
+        const auto hstats = harvester->stats();
+        std::printf("harvest: %llu examples over %llu bases (%llu "
+                    "offered, %llu dropped) -> %s\n",
+                    static_cast<unsigned long long>(hstats.examples),
+                    static_cast<unsigned long long>(hstats.bases),
+                    static_cast<unsigned long long>(hstats.offered),
+                    static_cast<unsigned long long>(hstats.dropped),
+                    harvester->shardPath().c_str());
+    }
     if (service) {
         // The engine holds the localizers with outstanding futures;
         // reset it first so every promise is consumed.
@@ -225,19 +305,47 @@ int
 cmdTrain(const Args &args)
 {
     auto kernel = makeKernel(args);
-    core::DatasetOptions data_opts;
-    data_opts.corpus_size = args.getU64("corpus", 300);
-    data_opts.mutations_per_base = args.getU64("mutations", 300);
     core::TrainOptions train_opts;
     train_opts.epochs = static_cast<int>(args.getU64("epochs", 12));
     train_opts.verbose = true;
+    train_opts.checkpoint_path = args.get("state", "");
+    train_opts.resume = args.getU64("resume", 0) != 0;
     setLogLevel(LogLevel::Info);
 
-    auto dataset = core::collectDataset(kernel, data_opts);
+    const std::vector<std::string> shards = args.getAll("data");
+    core::Dataset dataset;
+    if (shards.empty()) {
+        core::DatasetOptions data_opts;
+        data_opts.corpus_size = args.getU64("corpus", 300);
+        data_opts.mutations_per_base = args.getU64("mutations", 300);
+        dataset = core::collectDataset(kernel, data_opts);
+    } else {
+        bool truncated = false;
+        dataset = data::loadStore(kernel, shards, &truncated);
+        std::printf("store: %zu shards%s\n", shards.size(),
+                    truncated ? " (truncated tail recovered)" : "");
+    }
     std::printf("dataset: %zu/%zu/%zu examples\n", dataset.train.size(),
                 dataset.valid.size(), dataset.eval.size());
+
+    // `--stream 1` (the default when training from a store) feeds the
+    // trainer through the prefetching streaming loader; `--stream 0`
+    // forces the historical in-memory path. Both are bit-identical for
+    // the same seed — the dataset round-trip CI stage asserts it.
+    const bool stream =
+        args.getU64("stream", shards.empty() ? 0 : 1) != 0;
     core::Pmm model;
-    auto history = core::trainPmm(model, dataset, train_opts);
+    core::TrainHistory history;
+    if (stream) {
+        data::LoaderOptions loader_opts;
+        loader_opts.prefetch_threads = std::max<uint64_t>(
+            1, args.getU64("prefetch", 2));
+        data::StreamSource source(dataset, loader_opts);
+        history = core::trainPmmFromSource(model, dataset, source,
+                                           train_opts);
+    } else {
+        history = core::trainPmm(model, dataset, train_opts);
+    }
     auto metrics = core::evaluatePmm(model, dataset, dataset.eval,
                                      history.best_threshold);
     std::printf("eval: F1 %.3f  P %.3f  R %.3f  J %.3f  "
@@ -248,6 +356,83 @@ cmdTrain(const Args &args)
     nn::saveParameters(model, out);
     std::printf("saved %s\n", out.c_str());
     return 0;
+}
+
+int
+cmdDataset(const Args &args)
+{
+    const std::string verb = args.positional(0);
+    if (verb == "collect") {
+        auto kernel = makeKernel(args);
+        core::DatasetOptions data_opts;
+        data_opts.corpus_size = args.getU64("corpus", 300);
+        data_opts.mutations_per_base = args.getU64("mutations", 300);
+        data_opts.seed = args.getU64("data-seed", 1);
+        auto dataset = core::collectDataset(kernel, data_opts);
+        const std::string dir = args.get("out", "/tmp/snowplow_store");
+        const auto paths = data::writeStore(
+            dataset, dir, args.getU64("shards", 1));
+        std::printf("collected %zu/%zu/%zu examples over %zu bases "
+                    "into %zu shard(s) under %s\n",
+                    dataset.train.size(), dataset.valid.size(),
+                    dataset.eval.size(), dataset.bases.size(),
+                    paths.size(), dir.c_str());
+        return 0;
+    }
+    if (verb == "merge") {
+        std::vector<std::string> inputs(
+            args.positionals().begin() + 1, args.positionals().end());
+        if (inputs.empty()) {
+            std::fprintf(stderr,
+                         "usage: snowplow_cli dataset merge --out "
+                         "FILE SHARD...\n");
+            return 2;
+        }
+        data::MergeOptions merge_opts;
+        merge_opts.seed = args.getU64("merge-seed", 1);
+        merge_opts.popularity_cap = args.getU64("cap", 400);
+        const std::string out =
+            args.get("out", "/tmp/snowplow_store/merged.spds");
+        auto index = data::mergeStore(inputs, out, merge_opts);
+        std::printf("merged %zu shard(s): %llu bases, %llu/%llu/%llu "
+                    "examples, %llu bytes -> %s\n",
+                    inputs.size(),
+                    static_cast<unsigned long long>(index.bases),
+                    static_cast<unsigned long long>(index.train),
+                    static_cast<unsigned long long>(index.valid),
+                    static_cast<unsigned long long>(index.eval),
+                    static_cast<unsigned long long>(index.bytes),
+                    out.c_str());
+        return 0;
+    }
+    if (verb == "stats") {
+        std::vector<std::string> paths(
+            args.positionals().begin() + 1, args.positionals().end());
+        if (paths.empty()) {
+            std::fprintf(stderr,
+                         "usage: snowplow_cli dataset stats SHARD...\n");
+            return 2;
+        }
+        auto stats = data::statStore(paths);
+        std::printf("store: %zu shard(s), %zu from index, %zu "
+                    "truncated\n",
+                    stats.shards, stats.indexed_shards,
+                    stats.truncated_shards);
+        std::printf("  bases    : %llu\n",
+                    static_cast<unsigned long long>(stats.totals.bases));
+        std::printf("  examples : %llu train / %llu valid / %llu "
+                    "eval\n",
+                    static_cast<unsigned long long>(stats.totals.train),
+                    static_cast<unsigned long long>(stats.totals.valid),
+                    static_cast<unsigned long long>(stats.totals.eval));
+        std::printf("  bytes    : %llu\n",
+                    static_cast<unsigned long long>(stats.totals.bytes));
+        return 0;
+    }
+    std::fprintf(stderr,
+                 "usage: snowplow_cli dataset <collect|merge|stats> "
+                 "[--flag value]... [SHARD...]\n");
+    return 2;
 }
 
 int
@@ -313,6 +498,8 @@ dispatch(const std::string &command, const Args &args)
         return cmdFuzz(args);
     if (command == "train")
         return cmdTrain(args);
+    if (command == "dataset")
+        return cmdDataset(args);
     if (command == "directed")
         return cmdDirected(args);
     if (command == "corpus")
@@ -327,7 +514,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: snowplow_cli "
-                     "<kernel-stats|fuzz|train|directed|corpus> "
+                     "<kernel-stats|fuzz|train|dataset|directed|corpus> "
                      "[--flag value]... [--metrics-out FILE.jsonl]\n"
                      "       [--trace-out FILE.json] [--trace-sample "
                      "1/64] [--status-port P] [--status-hold 1]\n"

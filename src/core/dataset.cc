@@ -37,6 +37,40 @@ coverageKey(const std::vector<uint32_t> &blocks)
 
 }  // namespace
 
+void
+RawExample::canonicalize()
+{
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()),
+                  targets.end());
+    std::sort(mutate_sites.begin(), mutate_sites.end(),
+              [](const mut::ArgLocation &a, const mut::ArgLocation &b) {
+                  if (a.call_index != b.call_index)
+                      return a.call_index < b.call_index;
+                  return a.point.path < b.point.path;
+              });
+    mutate_sites.erase(
+        std::unique(mutate_sites.begin(), mutate_sites.end(),
+                    [](const mut::ArgLocation &a,
+                       const mut::ArgLocation &b) {
+                        return a.call_index == b.call_index &&
+                               a.point.path == b.point.path;
+                    }),
+        mutate_sites.end());
+}
+
+uint64_t
+exampleKey(const RawExample &example, uint64_t base_key)
+{
+    uint64_t h = hashCombine(0x5350455845ULL, base_key);
+    for (uint32_t t : example.targets)
+        h = hashCombine(h, t);
+    h = hashCombine(h, 0xfeedULL);
+    for (const auto &site : example.mutate_sites)
+        h = hashCombine(h, siteKey(site));
+    return h;
+}
+
 Dataset
 collectDataset(const kern::Kernel &kernel, const DatasetOptions &opts)
 {
@@ -155,8 +189,7 @@ collectDataset(const kern::Kernel &kernel, const DatasetOptions &opts)
                     }
                 }
                 example.targets.assign(targets.begin(), targets.end());
-                std::sort(example.targets.begin(),
-                          example.targets.end());
+                example.canonicalize();
                 all_examples.push_back(std::move(example));
             }
         }

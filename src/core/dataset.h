@@ -55,7 +55,25 @@ struct RawExample
     uint32_t base_index = 0;
     std::vector<uint32_t> targets;            ///< desired blocks
     std::vector<mut::ArgLocation> mutate_sites;  ///< ground truth
+
+    /**
+     * Normalize to the canonical form every producer must emit:
+     * targets sorted and deduplicated, mutate_sites sorted by
+     * (call_index, path) and deduplicated. Hashing, popularity-cap
+     * accounting and cross-shard dedup all assume this form, so an
+     * example's identity never depends on the order its targets or
+     * sites were discovered in.
+     */
+    void canonicalize();
 };
+
+/**
+ * Content identity of a canonicalized example under one base identity
+ * (`base_key` — the base program's content hash in the shard store,
+ * or just the base index inside one in-memory dataset). Equal for any
+ * two examples whose targets and sites were produced in any order.
+ */
+uint64_t exampleKey(const RawExample &example, uint64_t base_key);
 
 /** Collected corpus statistics (paper §5.1). */
 struct DatasetStats

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "nn/inference.h"
 #include "nn/optimizer.h"
+#include "nn/serialize.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/timer.h"
@@ -84,10 +86,212 @@ truthMask(const std::vector<float> &labels)
     return mask;
 }
 
+// --- Trainer-state blob (the nn/serialize trainer section) ------------
+//
+// A flat little struct-of-scalars encoding; versioned so a stale
+// checkpoint from a future layout fails loudly instead of misreading.
+
+constexpr uint32_t kTrainerStateVersion = 1;
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    const size_t at = out.size();
+    out.resize(at + sizeof(v));
+    std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void
+putF64(std::vector<uint8_t> &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putMetrics(std::vector<uint8_t> &out, const SelectorMetrics &m)
+{
+    putF64(out, m.f1);
+    putF64(out, m.precision);
+    putF64(out, m.recall);
+    putF64(out, m.jaccard);
+    putU64(out, m.examples);
+}
+
+class BlobReader
+{
+  public:
+    explicit BlobReader(const std::vector<uint8_t> &blob) : blob_(blob)
+    {
+    }
+
+    uint64_t
+    u64()
+    {
+        SP_ASSERT(pos_ + sizeof(uint64_t) <= blob_.size(),
+                  "trainer state truncated");
+        uint64_t v;
+        std::memcpy(&v, blob_.data() + pos_, sizeof(v));
+        pos_ += sizeof(v);
+        return v;
+    }
+
+    double
+    f64()
+    {
+        const uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    SelectorMetrics
+    metrics()
+    {
+        SelectorMetrics m;
+        m.f1 = f64();
+        m.precision = f64();
+        m.recall = f64();
+        m.jaccard = f64();
+        m.examples = static_cast<size_t>(u64());
+        return m;
+    }
+
+  private:
+    const std::vector<uint8_t> &blob_;
+    size_t pos_ = 0;
+};
+
+std::vector<uint8_t>
+encodeTrainerState(const TrainOptions &opts, size_t per_epoch,
+                   size_t kept, const Rng &rng,
+                   const std::vector<size_t> &order,
+                   const TrainHistory &history, int next_epoch,
+                   double best_f1, int stale_epochs)
+{
+    std::vector<uint8_t> blob;
+    putU64(blob, kTrainerStateVersion);
+    putU64(blob, opts.seed);
+    putU64(blob, per_epoch);
+    putU64(blob, kept);
+    putU64(blob, static_cast<uint64_t>(next_epoch));
+    putF64(blob, best_f1);
+    putU64(blob, static_cast<uint64_t>(stale_epochs));
+    putMetrics(blob, history.best_valid);
+    for (uint64_t lane : rng.state())
+        putU64(blob, lane);
+    // Epoch shuffles permute `order` in place, so the permutation is
+    // cumulative trainer state, not derivable from the RNG alone.
+    for (size_t position : order)
+        putU64(blob, position);
+    putU64(blob, history.epochs.size());
+    for (const auto &record : history.epochs) {
+        putU64(blob, static_cast<uint64_t>(record.epoch));
+        putF64(blob, record.train_loss);
+        putMetrics(blob, record.valid);
+    }
+    return blob;
+}
+
+/** Decode + validate; fatal on a checkpoint from different data/opts. */
+void
+decodeTrainerState(const std::vector<uint8_t> &blob,
+                   const TrainOptions &opts, size_t per_epoch,
+                   size_t kept, Rng &rng, std::vector<size_t> &order,
+                   TrainHistory &history, int &next_epoch,
+                   double &best_f1, int &stale_epochs)
+{
+    BlobReader in(blob);
+    const uint64_t version = in.u64();
+    SP_ASSERT(version == kTrainerStateVersion,
+              "trainer state version %llu, expected %u",
+              static_cast<unsigned long long>(version),
+              kTrainerStateVersion);
+    const uint64_t seed = in.u64();
+    const uint64_t ckpt_per_epoch = in.u64();
+    const uint64_t ckpt_kept = in.u64();
+    SP_ASSERT(seed == opts.seed && ckpt_per_epoch == per_epoch &&
+                  ckpt_kept == kept,
+              "resume checkpoint was trained with different data or "
+              "options (seed %llu/%llu, examples %llu/%zu, kept "
+              "%llu/%zu)",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(opts.seed),
+              static_cast<unsigned long long>(ckpt_per_epoch),
+              per_epoch, static_cast<unsigned long long>(ckpt_kept),
+              kept);
+    next_epoch = static_cast<int>(in.u64());
+    best_f1 = in.f64();
+    stale_epochs = static_cast<int>(in.u64());
+    history.best_valid = in.metrics();
+    std::array<uint64_t, 4> state;
+    for (auto &lane : state)
+        lane = in.u64();
+    rng.setState(state);
+    order.resize(kept);
+    for (auto &position : order)
+        position = static_cast<size_t>(in.u64());
+    const uint64_t epochs = in.u64();
+    history.epochs.clear();
+    for (uint64_t i = 0; i < epochs; ++i) {
+        EpochRecord record;
+        record.epoch = static_cast<int>(in.u64());
+        record.train_loss = in.f64();
+        record.valid = in.metrics();
+        history.epochs.push_back(record);
+    }
+}
+
 }  // namespace
+
+size_t
+InMemorySource::prepare(Rng &rng, size_t per_epoch)
+{
+    // Materialize (graph, labels) once: the encodings are identical
+    // across epochs, and rebuilding them dominates training time.
+    cache_.clear();
+    cache_.reserve(per_epoch);
+    std::vector<size_t> candidates(dataset_.train.size());
+    for (size_t i = 0; i < candidates.size(); ++i)
+        candidates[i] = i;
+    for (size_t i = candidates.size(); i > 1; --i)
+        std::swap(candidates[i - 1], candidates[rng.below(i)]);
+    for (size_t i = 0; i < per_epoch; ++i) {
+        auto example =
+            materializeExample(dataset_, dataset_.train[candidates[i]]);
+        if (example.second.empty())
+            continue;
+        cache_.push_back(std::move(example));
+    }
+    return cache_.size();
+}
+
+void
+InMemorySource::beginEpoch(const std::vector<size_t> &order)
+{
+    order_ = &order;
+    pos_ = 0;
+}
+
+std::pair<const graph::EncodedGraph *, const std::vector<float> *>
+InMemorySource::next()
+{
+    SP_ASSERT(order_ != nullptr && pos_ < order_->size());
+    const auto &item = cache_[(*order_)[pos_++]];
+    return {&item.first, &item.second};
+}
 
 TrainHistory
 trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
+{
+    InMemorySource source(dataset);
+    return trainPmmFromSource(model, dataset, source, opts);
+}
+
+TrainHistory
+trainPmmFromSource(Pmm &model, const Dataset &dataset,
+                   ExampleSource &source, const TrainOptions &opts)
 {
     TrainHistory history;
     if (dataset.train.empty()) {
@@ -103,34 +307,41 @@ trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
         opts.max_train_examples == 0
             ? dataset.train.size()
             : std::min(dataset.train.size(), opts.max_train_examples);
+    const size_t kept = source.prepare(rng, per_epoch);
 
-    // Materialize (graph, labels) once: the encodings are identical
-    // across epochs, and rebuilding them dominates training time.
-    std::vector<std::pair<graph::EncodedGraph, std::vector<float>>>
-        cache;
-    cache.reserve(per_epoch);
-    std::vector<size_t> order;
-    {
-        std::vector<size_t> candidates(dataset.train.size());
-        for (size_t i = 0; i < candidates.size(); ++i)
-            candidates[i] = i;
-        for (size_t i = candidates.size(); i > 1; --i)
-            std::swap(candidates[i - 1], candidates[rng.below(i)]);
-        for (size_t i = 0; i < per_epoch; ++i) {
-            auto example = materializeExample(
-                dataset, dataset.train[candidates[i]]);
-            if (example.second.empty())
-                continue;
-            cache.push_back(std::move(example));
-        }
-    }
-    order.resize(cache.size());
+    std::vector<size_t> order(kept);
     for (size_t i = 0; i < order.size(); ++i)
         order[i] = i;
 
+    int start_epoch = 0;
     double best_f1 = -1.0;
     int stale_epochs = 0;
-    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    if (opts.resume) {
+        SP_ASSERT(!opts.checkpoint_path.empty(),
+                  "TrainOptions::resume requires checkpoint_path");
+        nn::AdamState adam_state;
+        std::vector<uint8_t> blob;
+        if (nn::loadCheckpoint(model, opts.checkpoint_path, &adam_state,
+                               &blob) &&
+            !blob.empty()) {
+            optimizer.restore(adam_state);
+            decodeTrainerState(blob, opts, per_epoch, kept, rng, order,
+                               history, start_epoch, best_f1,
+                               stale_epochs);
+            if (opts.verbose) {
+                SP_INFORM("resuming from %s at epoch %d (best F1 "
+                          "%.3f)",
+                          opts.checkpoint_path.c_str(), start_epoch,
+                          best_f1);
+            }
+        } else {
+            SP_WARN("no resumable checkpoint at %s; training from "
+                    "scratch",
+                    opts.checkpoint_path.c_str());
+        }
+    }
+
+    for (int epoch = start_epoch; epoch < opts.epochs; ++epoch) {
         SP_TIMED("train.epoch_us");
         // Shuffle example order.
         for (size_t i = order.size(); i > 1; --i)
@@ -138,15 +349,18 @@ trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
 
         double loss_total = 0.0;
         size_t trained = 0;
+        source.beginEpoch(order);
         for (size_t oi = 0; oi < order.size(); ++oi) {
-            const auto &[graph, labels] = cache[order[oi]];
-            std::vector<float> weights(labels.size());
-            for (size_t i = 0; i < labels.size(); ++i)
-                weights[i] = labels[i] > 0.5f ? opts.pos_weight : 1.0f;
+            const auto [graph, labels] = source.next();
+            std::vector<float> weights(labels->size());
+            for (size_t i = 0; i < labels->size(); ++i)
+                weights[i] =
+                    (*labels)[i] > 0.5f ? opts.pos_weight : 1.0f;
 
             model.zeroGrad();
-            nn::Tensor logits = model.forward(graph, &rng, true);
-            nn::Tensor loss = nn::bceWithLogits(logits, labels, weights);
+            nn::Tensor logits = model.forward(*graph, &rng, true);
+            nn::Tensor loss =
+                nn::bceWithLogits(logits, *labels, weights);
             loss.backward();
             optimizer.clipGradNorm(opts.grad_clip);
             optimizer.step();
@@ -175,13 +389,25 @@ trainPmm(Pmm &model, const Dataset &dataset, const TrainOptions &opts)
                       record.train_loss, record.valid.f1);
         }
 
+        bool improved = false;
         if (record.valid.f1 > best_f1 + 1e-4) {
             best_f1 = record.valid.f1;
             history.best_valid = record.valid;
             stale_epochs = 0;
-        } else if (++stale_epochs > opts.patience) {
-            break;
+            improved = true;
+        } else {
+            ++stale_epochs;
         }
+        if (!opts.checkpoint_path.empty()) {
+            const nn::AdamState adam_state = optimizer.snapshot();
+            const std::vector<uint8_t> blob = encodeTrainerState(
+                opts, per_epoch, kept, rng, order, history, epoch + 1,
+                best_f1, stale_epochs);
+            nn::saveCheckpoint(model, opts.checkpoint_path,
+                               &adam_state, &blob);
+        }
+        if (!improved && stale_epochs > opts.patience)
+            break;
     }
     if (history.best_valid.examples == 0 && !history.epochs.empty())
         history.best_valid = history.epochs.back().valid;

@@ -9,11 +9,22 @@
  * ŷ and the ground-truth set y, averaged across examples — plus the
  * Rand-K baseline selector (K = mean ground-truth size of the training
  * split, the paper's Rand.8).
+ *
+ * The trainer is decoupled from where examples live through
+ * ExampleSource: the in-memory source materializes the whole working
+ * set up front (the historical path), while src/data's streaming
+ * source prefetches materializations from disk shards. Both consume
+ * the training RNG identically, so a given seed produces the same
+ * epoch order, losses and final metrics from either source.
+ * TrainOptions::checkpoint_path / resume persist the full trainer
+ * state (optimizer moments, RNG, epoch cursor, best-validation
+ * bookkeeping) so an interrupted run continues bit-identically.
  */
 #ifndef SP_CORE_TRAIN_H
 #define SP_CORE_TRAIN_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dataset.h"
@@ -34,6 +45,19 @@ struct TrainOptions
     /** Early-stop patience in epochs without validation-F1 gain. */
     int patience = 3;
     bool verbose = false;
+    /**
+     * When non-empty, write a resumable checkpoint (parameters +
+     * optimizer state + trainer cursor) here after every epoch,
+     * atomically (write + rename).
+     */
+    std::string checkpoint_path;
+    /**
+     * Restore the trainer from `checkpoint_path` before the first
+     * epoch and continue where it left off. A resumed run on the same
+     * data and options is bit-identical to an uninterrupted one.
+     * Ignored (with a warning) when the checkpoint does not exist.
+     */
+    bool resume = false;
 };
 
 /** Per-example-averaged selector metrics. */
@@ -63,9 +87,71 @@ struct TrainHistory
     float best_threshold = 0.5f;
 };
 
-/** Train `model` on the dataset's train split. */
+/**
+ * Supplies materialized (encoded graph, labels) training examples to
+ * trainPmmFromSource. The contract every implementation must honor for
+ * determinism parity across sources:
+ *
+ *  - prepare() selects the working set by drawing from `rng` exactly
+ *    like the legacy in-memory candidate shuffle (a full Fisher-Yates
+ *    pass over the train split), then drops examples whose label
+ *    vector would be empty; it returns the kept count K.
+ *  - beginEpoch(order) starts one epoch that will deliver the kept
+ *    examples permuted by `order` (a permutation of [0, K)).
+ *  - next() returns the next example of the running epoch; the
+ *    pointers stay valid until the following next()/beginEpoch() call.
+ */
+class ExampleSource
+{
+  public:
+    virtual ~ExampleSource() = default;
+
+    virtual size_t prepare(Rng &rng, size_t per_epoch) = 0;
+    virtual void beginEpoch(const std::vector<size_t> &order) = 0;
+    virtual std::pair<const graph::EncodedGraph *,
+                      const std::vector<float> *>
+    next() = 0;
+};
+
+/**
+ * The historical fully-in-memory source: materializes every selected
+ * example of `dataset.train` once in prepare() and serves epochs from
+ * the cache (the encodings are identical across epochs, and rebuilding
+ * them dominates training time).
+ */
+class InMemorySource : public ExampleSource
+{
+  public:
+    explicit InMemorySource(const Dataset &dataset) : dataset_(dataset)
+    {
+    }
+
+    size_t prepare(Rng &rng, size_t per_epoch) override;
+    void beginEpoch(const std::vector<size_t> &order) override;
+    std::pair<const graph::EncodedGraph *, const std::vector<float> *>
+    next() override;
+
+  private:
+    const Dataset &dataset_;
+    std::vector<std::pair<graph::EncodedGraph, std::vector<float>>>
+        cache_;
+    const std::vector<size_t> *order_ = nullptr;
+    size_t pos_ = 0;
+};
+
+/** Train `model` on the dataset's train split (in-memory source). */
 TrainHistory trainPmm(Pmm &model, const Dataset &dataset,
                       const TrainOptions &opts);
+
+/**
+ * Train `model` from an explicit example source. `dataset` still
+ * provides the validation/eval splits (and the train-split size the
+ * per-epoch cap applies to); `source` provides the materialized
+ * training examples.
+ */
+TrainHistory trainPmmFromSource(Pmm &model, const Dataset &dataset,
+                                ExampleSource &source,
+                                const TrainOptions &opts);
 
 /** Evaluate the model's argument selection over a split. */
 SelectorMetrics evaluatePmm(const Pmm &model, const Dataset &dataset,

@@ -1,0 +1,221 @@
+#include "data/format.h"
+
+#include <array>
+
+#include "util/logging.h"
+
+namespace sp::data {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+}  // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    static const std::array<uint32_t, 256> table = makeCrcTable();
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint32_t c = seed ^ 0xffffffffu;
+    for (size_t i = 0; i < len; ++i)
+        c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+// --- PayloadReader ----------------------------------------------------
+
+const void *
+PayloadReader::take(size_t len)
+{
+    SP_ASSERT(pos_ + len <= len_,
+              "shard payload under-run (%zu of %zu bytes)", pos_ + len,
+              len_);
+    const void *at = data_ + pos_;
+    pos_ += len;
+    return at;
+}
+
+uint8_t
+PayloadReader::u8()
+{
+    return *static_cast<const uint8_t *>(take(1));
+}
+
+uint16_t
+PayloadReader::u16()
+{
+    uint16_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+uint32_t
+PayloadReader::u32()
+{
+    uint32_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+uint64_t
+PayloadReader::u64()
+{
+    uint64_t v;
+    std::memcpy(&v, take(sizeof(v)), sizeof(v));
+    return v;
+}
+
+std::string
+PayloadReader::str()
+{
+    const uint32_t len = u32();
+    const void *at = take(len);
+    return std::string(static_cast<const char *>(at), len);
+}
+
+// --- FrameWriter ------------------------------------------------------
+
+FrameWriter::FrameWriter(const std::string &path,
+                         uint64_t kernel_fingerprint)
+    : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    SP_ASSERT(file_ != nullptr, "cannot create shard %s", path.c_str());
+    PayloadWriter header;
+    header.u64(kShardMagic);
+    header.u32(kShardVersion);
+    header.u32(kShardEndianGuard);
+    header.u64(kernel_fingerprint);
+    const auto &bytes = header.bytes();
+    SP_ASSERT(std::fwrite(bytes.data(), 1, bytes.size(), file_) ==
+                  bytes.size(),
+              "short write to shard %s", path.c_str());
+    bytes_ = bytes.size();
+}
+
+FrameWriter::~FrameWriter()
+{
+    close();
+}
+
+size_t
+FrameWriter::append(uint32_t kind, const PayloadWriter &payload)
+{
+    SP_ASSERT(file_ != nullptr, "append to a closed shard %s",
+              path_.c_str());
+    const auto &body = payload.bytes();
+    SP_ASSERT(body.size() <= kMaxRecordPayload,
+              "shard record payload too large (%zu bytes)", body.size());
+    const auto len = static_cast<uint32_t>(body.size());
+
+    // CRC over kind | len | payload, so a frame whose length field was
+    // torn is rejected as a unit.
+    uint32_t crc = crc32(&kind, sizeof(kind));
+    crc = crc32(&len, sizeof(len), crc);
+    crc = crc32(body.data(), body.size(), crc);
+
+    bool ok = std::fwrite(&kind, sizeof(kind), 1, file_) == 1;
+    ok = ok && std::fwrite(&len, sizeof(len), 1, file_) == 1;
+    ok = ok &&
+         std::fwrite(body.data(), 1, body.size(), file_) == body.size();
+    ok = ok && std::fwrite(&crc, sizeof(crc), 1, file_) == 1;
+    SP_ASSERT(ok, "short write to shard %s", path_.c_str());
+
+    const size_t frame = sizeof(kind) + sizeof(len) + body.size() +
+                         sizeof(crc);
+    bytes_ += frame;
+    return frame;
+}
+
+void
+FrameWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+// --- FrameReader ------------------------------------------------------
+
+FrameReader::FrameReader(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    SP_ASSERT(file_ != nullptr, "cannot open shard %s", path.c_str());
+
+    uint64_t magic = 0;
+    uint32_t version = 0, endian = 0;
+    const bool header_ok =
+        std::fread(&magic, sizeof(magic), 1, file_) == 1 &&
+        std::fread(&version, sizeof(version), 1, file_) == 1 &&
+        std::fread(&endian, sizeof(endian), 1, file_) == 1 &&
+        std::fread(&fingerprint_, sizeof(fingerprint_), 1, file_) == 1;
+    SP_ASSERT(header_ok, "%s: not an example-store shard (short header)",
+              path.c_str());
+    SP_ASSERT(magic == kShardMagic,
+              "%s: not an example-store shard (bad magic)",
+              path.c_str());
+    SP_ASSERT(version == kShardVersion,
+              "%s: shard format version %u, this build reads %u — "
+              "re-collect the dataset with this build",
+              path.c_str(), version, kShardVersion);
+    SP_ASSERT(endian == kShardEndianGuard,
+              "%s: shard was written on a machine with different "
+              "endianness",
+              path.c_str());
+}
+
+FrameReader::~FrameReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+FrameReader::next(uint32_t &kind, PayloadReader &payload)
+{
+    if (done_)
+        return false;
+
+    uint32_t len = 0, stored_crc = 0;
+    const size_t got_kind = std::fread(&kind, sizeof(kind), 1, file_);
+    if (got_kind == 0) {
+        done_ = true;  // clean EOF between frames
+        return false;
+    }
+    if (std::fread(&len, sizeof(len), 1, file_) != 1 ||
+        len > kMaxRecordPayload) {
+        done_ = truncated_ = true;
+        return false;
+    }
+    buffer_.resize(len);
+    if (std::fread(buffer_.data(), 1, len, file_) != len ||
+        std::fread(&stored_crc, sizeof(stored_crc), 1, file_) != 1) {
+        done_ = truncated_ = true;
+        return false;
+    }
+    uint32_t crc = crc32(&kind, sizeof(kind));
+    crc = crc32(&len, sizeof(len), crc);
+    crc = crc32(buffer_.data(), buffer_.size(), crc);
+    if (crc != stored_crc) {
+        done_ = truncated_ = true;
+        return false;
+    }
+    payload = PayloadReader(buffer_.data(), buffer_.size());
+    return true;
+}
+
+}  // namespace sp::data

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * On-disk framing of the example store (DESIGN.md §11).
+ *
+ * A shard file is a fixed header followed by a stream of framed
+ * records:
+ *
+ *     header : u64 magic "SPDSHRD1" | u32 version | u32 endian guard
+ *            | u64 kernel fingerprint
+ *     record : u32 kind | u32 payload_len | payload | u32 crc32
+ *
+ * The CRC covers kind, payload_len and the payload, so a torn write —
+ * a fuzzing process killed mid-append — is detected at the exact
+ * record boundary: readers stop cleanly at the last valid record and
+ * report the file as truncated instead of propagating garbage.
+ * Integers are written in host byte order; the header's endian guard
+ * rejects a shard moved across differently-ordered machines.
+ */
+#ifndef SP_DATA_FORMAT_H
+#define SP_DATA_FORMAT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sp::data {
+
+/** "SPDSHRD1" — example-store shard, format 1. */
+constexpr uint64_t kShardMagic = 0x5350445348524431ULL;
+constexpr uint32_t kShardVersion = 1;
+constexpr uint32_t kShardEndianGuard = 0x01020304;
+
+/** "SPDSIDX1" — shard sidecar index, format 1. */
+constexpr uint64_t kIndexMagic = 0x5350445349445831ULL;
+
+/** Record kinds (unknown kinds are a hard format error). */
+constexpr uint32_t kRecordBase = 1;
+constexpr uint32_t kRecordExample = 2;
+
+/** Upper bound on one record's payload; larger lengths mean a
+ *  corrupt frame and are treated like a truncated tail. */
+constexpr uint32_t kMaxRecordPayload = 64u << 20;
+
+/** CRC-32 (IEEE 802.3 polynomial, bit-reflected). */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+
+/** Builds one record payload in memory. */
+class PayloadWriter
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    const std::vector<uint8_t> &bytes() const { return buf_; }
+
+  private:
+    void
+    raw(const void *data, size_t len)
+    {
+        const size_t at = buf_.size();
+        buf_.resize(at + len);
+        std::memcpy(buf_.data() + at, data, len);
+    }
+
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Reads one CRC-validated payload back. Bounds violations are fatal:
+ * the frame's checksum already passed, so a short payload means a
+ * programming error, not disk corruption.
+ */
+class PayloadReader
+{
+  public:
+    PayloadReader() = default;
+
+    PayloadReader(const uint8_t *data, size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    std::string str();
+
+    size_t remaining() const { return len_ - pos_; }
+
+  private:
+    const void *take(size_t len);
+
+    const uint8_t *data_ = nullptr;
+    size_t len_ = 0;
+    size_t pos_ = 0;
+};
+
+/**
+ * Appends framed records to a shard file. The header is written at
+ * construction; close() (or destruction) flushes. Writing is
+ * single-threaded by design — the harvester funnels every producer
+ * through one background thread.
+ */
+class FrameWriter
+{
+  public:
+    /** Opens `path` for writing (truncates); fatal on failure. */
+    FrameWriter(const std::string &path, uint64_t kernel_fingerprint);
+    ~FrameWriter();
+
+    FrameWriter(const FrameWriter &) = delete;
+    FrameWriter &operator=(const FrameWriter &) = delete;
+
+    /** Append one framed record; returns the frame's byte size. */
+    size_t append(uint32_t kind, const PayloadWriter &payload);
+
+    /** Flush and close the file (idempotent). */
+    void close();
+
+    /** Bytes written so far, header included. */
+    uint64_t bytesWritten() const { return bytes_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    uint64_t bytes_ = 0;
+};
+
+/**
+ * Sequentially reads framed records from a shard file, validating the
+ * header and every frame's CRC. next() returns false at end of input —
+ * either clean EOF or a torn/corrupt tail; truncated() distinguishes
+ * the two. A missing file or a malformed header (wrong magic, version,
+ * endianness) is fatal with a descriptive message.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(const std::string &path);
+    ~FrameReader();
+
+    FrameReader(const FrameReader &) = delete;
+    FrameReader &operator=(const FrameReader &) = delete;
+
+    /** Kernel fingerprint recorded in the shard header. */
+    uint64_t kernelFingerprint() const { return fingerprint_; }
+
+    /**
+     * Read the next record. The payload references a buffer owned by
+     * the reader, valid until the following next() call.
+     */
+    bool next(uint32_t &kind, PayloadReader &payload);
+
+    /** True when the stream ended on a torn or corrupt frame. */
+    bool truncated() const { return truncated_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    uint64_t fingerprint_ = 0;
+    bool truncated_ = false;
+    bool done_ = false;
+    std::vector<uint8_t> buffer_;
+};
+
+}  // namespace sp::data
+
+#endif  // SP_DATA_FORMAT_H

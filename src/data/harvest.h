@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Continual dataset harvesting: convert a live campaign's successful
+ * mutations into §3.1 training examples, appended to an open shard —
+ * train-while-fuzzing's data half.
+ *
+ * The harvester hangs off fuzz::CampaignOptions::on_mutation. The
+ * observer callback runs on fuzzing worker threads inside the execute
+ * stage, so it does the absolute minimum: for admitted argument-lane
+ * mutants it copies the (base, mutant, site) triple into a bounded
+ * queue — and when the queue is full it drops the event (drop-newest)
+ * rather than ever blocking a worker. Everything §3.1 — re-executing
+ * base and mutant under the deterministic (virtio-style) executor,
+ * the one-hop alternative frontier, option-(c) noisy targets, the
+ * popularity cap, content-keyed dedup and the hash-rolled
+ * split-by-base tag (data::splitOfBase, so harvest shards merge
+ * cleanly with collected ones) — happens on the harvester's own
+ * background thread, which appends finished records to the shard.
+ *
+ * Crash safety: records are framed with CRCs (format.h), so a shard
+ * from a killed campaign reads back to the last complete record. The
+ * sidecar index is only written by close().
+ *
+ * Observability: `data.harvest_examples` / `data.harvest_dropped`
+ * counters and `data.shard_bytes` (bytes appended across harvest
+ * shards).
+ */
+#ifndef SP_DATA_HARVEST_H
+#define SP_DATA_HARVEST_H
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "data/store.h"
+#include "exec/executor.h"
+#include "fuzz/campaign.h"
+#include "graph/query_graph.h"
+
+namespace sp::data {
+
+/** Harvester configuration. */
+struct HarvestOptions
+{
+    /** Directory the harvest shard lands in (created if missing). */
+    std::string dir = ".";
+    /** Shard file name within `dir`. */
+    std::string shard_name = "harvest-000.spds";
+    uint64_t seed = 1;
+    /** Pending-event bound; beyond it offers are dropped, not queued. */
+    size_t queue_capacity = 256;
+    /** @name §3.1 example-construction knobs (collectDataset's) */
+    /** @{ */
+    size_t popularity_cap = 400;
+    size_t max_frontier = 512;
+    double train_fraction = 0.8;
+    /** @} */
+};
+
+/** End-of-run tallies. */
+struct HarvestStats
+{
+    uint64_t offered = 0;    ///< admitted mutants seen by the hook
+    uint64_t dropped = 0;    ///< lost to the queue bound
+    uint64_t bases = 0;      ///< base records written
+    uint64_t examples = 0;   ///< example records written
+    uint64_t discarded = 0;  ///< popularity cap / dedup / no frontier
+    uint64_t bytes = 0;      ///< shard bytes written
+};
+
+/** Harvests one campaign into one shard (see file comment). */
+class Harvester
+{
+  public:
+    Harvester(const kern::Kernel &kernel, HarvestOptions opts);
+    ~Harvester();
+
+    Harvester(const Harvester &) = delete;
+    Harvester &operator=(const Harvester &) = delete;
+
+    /** The observer to install as CampaignOptions::on_mutation. */
+    fuzz::MutationObserver hook();
+
+    /**
+     * Drain the queue, stop the background thread and finalize the
+     * shard (records + sidecar index). Idempotent; the destructor
+     * calls it. After close() the shard is ready for mergeStore.
+     */
+    void close();
+
+    /** The shard being written. */
+    const std::string &shardPath() const { return shard_path_; }
+
+    /** Tallies; stable once close() returned. */
+    HarvestStats stats() const;
+
+  private:
+    struct Item
+    {
+        prog::Prog base;
+        prog::Prog mutant;
+        mut::ArgLocation site;
+    };
+
+    /** Per-base cache entry (frontier analysis is per base, §3.2). */
+    struct BaseEntry
+    {
+        bool usable = false;
+        bool written = false;
+        uint8_t split = kSplitTrain;
+        BaseRecord record;
+        exec::CoverageSet coverage;
+        std::unordered_set<uint32_t> frontier_set;
+        std::vector<uint32_t> frontier;
+    };
+
+    void observe(const fuzz::MutationEvent &event);
+    void workerLoop();
+    void process(Item &item);
+    BaseEntry &baseEntryFor(const prog::Prog &base, uint64_t base_hash);
+
+    const kern::Kernel &kernel_;
+    HarvestOptions opts_;
+    std::string shard_path_;
+
+    /** @name Hot-path state (touched by campaign workers) */
+    /** @{ */
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<Item> queue_;
+    bool closing_ = false;
+    /** @} */
+
+    /** @name Background-thread state (single consumer) */
+    /** @{ */
+    exec::Executor executor_;  ///< deterministic mode
+    Rng rng_;
+    std::unique_ptr<ShardWriter> writer_;
+    std::unordered_map<uint64_t, std::unique_ptr<BaseEntry>> bases_;
+    std::unordered_set<uint64_t> seen_;
+    std::unordered_map<uint32_t, size_t> popularity_;
+    /** @} */
+
+    mutable std::mutex stats_mu_;
+    HarvestStats stats_;
+
+    std::thread thread_;
+};
+
+}  // namespace sp::data
+
+#endif  // SP_DATA_HARVEST_H

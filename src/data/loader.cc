@@ -1,0 +1,175 @@
+#include "data/loader.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "prog/flatten.h"
+#include "util/logging.h"
+
+namespace sp::data {
+
+namespace {
+
+struct LoaderMetrics
+{
+    obs::Gauge &queue_depth;
+    obs::Histogram &stall_us;
+
+    static LoaderMetrics &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static LoaderMetrics metrics{
+            reg.gauge("data.loader_queue_depth"),
+            reg.histogram("data.loader_stall_us"),
+        };
+        return metrics;
+    }
+};
+
+}  // namespace
+
+StreamSource::StreamSource(const core::Dataset &dataset,
+                           LoaderOptions opts)
+    : dataset_(dataset), opts_(opts)
+{
+    opts_.prefetch_threads = std::max<size_t>(1, opts_.prefetch_threads);
+    opts_.window = std::max<size_t>(opts_.prefetch_threads + 1,
+                                    opts_.window);
+    ring_.resize(opts_.window);
+}
+
+StreamSource::~StreamSource()
+{
+    stopThreads();
+}
+
+size_t
+StreamSource::prepare(Rng &rng, size_t per_epoch)
+{
+    // Candidate selection must consume `rng` exactly like
+    // InMemorySource::prepare (a full Fisher-Yates over the train
+    // split) so both sources leave the trainer's RNG in the same state.
+    std::vector<size_t> candidates(dataset_.train.size());
+    for (size_t i = 0; i < candidates.size(); ++i)
+        candidates[i] = i;
+    for (size_t i = candidates.size(); i > 1; --i)
+        std::swap(candidates[i - 1], candidates[rng.below(i)]);
+
+    // The in-memory source drops examples whose label vector is empty.
+    // Labels are one float per argument node, and the query graph
+    // builds one argument node per mutation point of the base — so the
+    // filter is equivalent to "the base has no mutable argument",
+    // decidable without materializing. Counts are cached per base: a
+    // base typically backs many examples.
+    std::vector<int8_t> has_args(dataset_.bases.size(), -1);
+    kept_.clear();
+    kept_.reserve(per_epoch);
+    for (size_t i = 0; i < per_epoch; ++i) {
+        const size_t train_index = candidates[i];
+        const uint32_t bi = dataset_.train[train_index].base_index;
+        if (has_args[bi] < 0) {
+            has_args[bi] =
+                prog::countMutableArgs(dataset_.bases[bi]) > 0 ? 1 : 0;
+        }
+        if (has_args[bi] != 0)
+            kept_.push_back(train_index);
+    }
+    return kept_.size();
+}
+
+void
+StreamSource::beginEpoch(const std::vector<size_t> &order)
+{
+    stopThreads();
+    SP_ASSERT(order.size() == kept_.size(),
+              "epoch order has %zu entries for %zu kept examples",
+              order.size(), kept_.size());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        order_ = &order;
+        total_ = order.size();
+        produce_next_ = 0;
+        consume_next_ = 0;
+        stop_ = false;
+        for (auto &slot : ring_)
+            slot.ready = false;
+    }
+    threads_.reserve(opts_.prefetch_threads);
+    for (size_t t = 0; t < opts_.prefetch_threads; ++t)
+        threads_.emplace_back([this] { producerLoop(); });
+}
+
+void
+StreamSource::producerLoop()
+{
+    graph::EncodedGraph graph;
+    std::vector<float> labels;
+    for (;;) {
+        size_t pos;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            can_produce_.wait(lock, [this] {
+                return stop_ || produce_next_ >= total_ ||
+                       produce_next_ < consume_next_ + ring_.size();
+            });
+            if (stop_ || produce_next_ >= total_)
+                return;
+            pos = produce_next_++;
+        }
+        const size_t train_index = kept_[(*order_)[pos]];
+        core::materializeExampleInto(dataset_,
+                                     dataset_.train[train_index],
+                                     graph, labels);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            Slot &slot = ring_[pos % ring_.size()];
+            std::swap(slot.graph, graph);
+            std::swap(slot.labels, labels);
+            slot.ready = true;
+        }
+        can_consume_.notify_one();
+    }
+}
+
+std::pair<const graph::EncodedGraph *, const std::vector<float> *>
+StreamSource::next()
+{
+    LoaderMetrics &metrics = LoaderMetrics::get();
+    std::unique_lock<std::mutex> lock(mu_);
+    SP_ASSERT(consume_next_ < total_,
+              "next() past the end of the epoch");
+    Slot &slot = ring_[consume_next_ % ring_.size()];
+    if (!slot.ready) {
+        const auto start = std::chrono::steady_clock::now();
+        can_consume_.wait(lock, [&slot] { return slot.ready; });
+        metrics.stall_us.record(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+    }
+    std::swap(current_.first, slot.graph);
+    std::swap(current_.second, slot.labels);
+    slot.ready = false;
+    ++consume_next_;
+    metrics.queue_depth.set(
+        static_cast<double>(produce_next_ - consume_next_));
+    lock.unlock();
+    can_produce_.notify_one();
+    return {&current_.first, &current_.second};
+}
+
+void
+StreamSource::stopThreads()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    can_produce_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+    threads_.clear();
+}
+
+}  // namespace sp::data

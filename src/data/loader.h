@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Streaming training loader: background prefetch of materialized
+ * examples behind the core::ExampleSource contract.
+ *
+ * The expensive half of serving one training example is not disk I/O —
+ * raw examples are tiny — but materialization: building the base's
+ * query graph with the example's targets marked and encoding it
+ * (core::materializeExampleInto). The in-memory source pays that cost
+ * for the whole working set up front and holds every encoding
+ * resident; StreamSource instead materializes on demand from the
+ * loaded store, with N prefetch threads racing ahead of the trainer
+ * through a bounded reorder window.
+ *
+ * Determinism: the trainer owns all randomness (it draws the candidate
+ * shuffle and each epoch's permutation from its own RNG) and hands
+ * StreamSource the exact position order to serve. Prefetch threads
+ * claim positions in order and publish into a ring indexed by
+ * position, and next() consumes positions strictly in order — so the
+ * batch sequence is identical to InMemorySource's no matter how the
+ * producer threads interleave, and trainPmmFromSource produces
+ * bit-identical SelectorMetrics from either source for the same seed.
+ *
+ * Observability: `data.loader_queue_depth` (gauge, prefetched examples
+ * waiting at each consume) and `data.loader_stall_us` (histogram, time
+ * the trainer waited for an example that was not ready).
+ */
+#ifndef SP_DATA_LOADER_H
+#define SP_DATA_LOADER_H
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/train.h"
+
+namespace sp::data {
+
+/** StreamSource configuration. */
+struct LoaderOptions
+{
+    /** Background materializer threads. */
+    size_t prefetch_threads = 2;
+    /**
+     * Reorder-window slots (bound on both memory and how far
+     * producers may run ahead of the trainer).
+     */
+    size_t window = 64;
+};
+
+/** Streaming ExampleSource over a loaded dataset (see file comment). */
+class StreamSource : public core::ExampleSource
+{
+  public:
+    explicit StreamSource(const core::Dataset &dataset,
+                          LoaderOptions opts = {});
+    ~StreamSource() override;
+
+    StreamSource(const StreamSource &) = delete;
+    StreamSource &operator=(const StreamSource &) = delete;
+
+    size_t prepare(Rng &rng, size_t per_epoch) override;
+    void beginEpoch(const std::vector<size_t> &order) override;
+    std::pair<const graph::EncodedGraph *, const std::vector<float> *>
+    next() override;
+
+  private:
+    struct Slot
+    {
+        graph::EncodedGraph graph;
+        std::vector<float> labels;
+        bool ready = false;
+    };
+
+    void producerLoop();
+    void stopThreads();
+
+    const core::Dataset &dataset_;
+    LoaderOptions opts_;
+    /** Train-split indices of the kept working set (prepare()). */
+    std::vector<size_t> kept_;
+
+    std::mutex mu_;
+    std::condition_variable can_produce_;
+    std::condition_variable can_consume_;
+    const std::vector<size_t> *order_ = nullptr;
+    size_t total_ = 0;
+    size_t produce_next_ = 0;
+    size_t consume_next_ = 0;
+    bool stop_ = false;
+    std::vector<Slot> ring_;
+    std::vector<std::thread> threads_;
+
+    /** The example handed out by the last next() call. */
+    std::pair<graph::EncodedGraph, std::vector<float>> current_;
+};
+
+}  // namespace sp::data
+
+#endif  // SP_DATA_LOADER_H

@@ -1,0 +1,204 @@
+#include "data/shard.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace sp::data {
+
+namespace {
+
+void
+encodeBase(PayloadWriter &out, const BaseRecord &base)
+{
+    out.u64(base.base_hash);
+    out.str(base.text);
+    out.u32(static_cast<uint32_t>(base.blocks.size()));
+    for (uint32_t b : base.blocks)
+        out.u32(b);
+    out.u64(base.edges);
+}
+
+void
+decodeBase(PayloadReader &in, BaseRecord &base)
+{
+    base.base_hash = in.u64();
+    base.text = in.str();
+    base.blocks.resize(in.u32());
+    for (auto &b : base.blocks)
+        b = in.u32();
+    base.edges = in.u64();
+}
+
+void
+encodeExample(PayloadWriter &out, const ExampleRecord &example)
+{
+    out.u64(example.base_hash);
+    out.u8(example.split);
+    out.u32(static_cast<uint32_t>(example.targets.size()));
+    for (uint32_t t : example.targets)
+        out.u32(t);
+    out.u32(static_cast<uint32_t>(example.sites.size()));
+    for (const auto &site : example.sites) {
+        out.u32(static_cast<uint32_t>(site.call_index));
+        out.u16(static_cast<uint16_t>(site.point.path.size()));
+        for (uint16_t step : site.point.path)
+            out.u16(step);
+    }
+}
+
+void
+decodeExample(PayloadReader &in, ExampleRecord &example)
+{
+    example.base_hash = in.u64();
+    example.split = in.u8();
+    example.targets.resize(in.u32());
+    for (auto &t : example.targets)
+        t = in.u32();
+    example.sites.resize(in.u32());
+    for (auto &site : example.sites) {
+        site.call_index = in.u32();
+        site.point = prog::MutationPoint{};
+        site.point.path.resize(in.u16());
+        for (auto &step : site.point.path)
+            step = in.u16();
+    }
+}
+
+}  // namespace
+
+std::string
+indexPathFor(const std::string &shard_path)
+{
+    return shard_path + ".idx";
+}
+
+std::optional<ShardIndex>
+readShardIndex(const std::string &shard_path)
+{
+    std::FILE *f = std::fopen(indexPathFor(shard_path).c_str(), "rb");
+    if (f == nullptr)
+        return std::nullopt;
+    struct Raw
+    {
+        uint64_t magic;
+        uint32_t version;
+        uint32_t endian;
+        ShardIndex index;
+        uint32_t crc;
+    } raw{};
+    const bool ok =
+        std::fread(&raw.magic, sizeof(raw.magic), 1, f) == 1 &&
+        std::fread(&raw.version, sizeof(raw.version), 1, f) == 1 &&
+        std::fread(&raw.endian, sizeof(raw.endian), 1, f) == 1 &&
+        std::fread(&raw.index, sizeof(raw.index), 1, f) == 1 &&
+        std::fread(&raw.crc, sizeof(raw.crc), 1, f) == 1;
+    std::fclose(f);
+    if (!ok || raw.magic != kIndexMagic || raw.version != 1 ||
+        raw.endian != kShardEndianGuard ||
+        raw.crc != crc32(&raw.index, sizeof(raw.index)))
+        return std::nullopt;
+    return raw.index;
+}
+
+namespace {
+
+void
+writeShardIndex(const std::string &shard_path, const ShardIndex &index)
+{
+    const std::string path = indexPathFor(shard_path);
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    SP_ASSERT(f != nullptr, "cannot create shard index %s",
+              path.c_str());
+    const uint32_t version = 1;
+    const uint32_t endian = kShardEndianGuard;
+    const uint32_t crc = crc32(&index, sizeof(index));
+    bool ok = std::fwrite(&kIndexMagic, sizeof(kIndexMagic), 1, f) == 1;
+    ok = ok && std::fwrite(&version, sizeof(version), 1, f) == 1;
+    ok = ok && std::fwrite(&endian, sizeof(endian), 1, f) == 1;
+    ok = ok && std::fwrite(&index, sizeof(index), 1, f) == 1;
+    ok = ok && std::fwrite(&crc, sizeof(crc), 1, f) == 1;
+    ok = ok && std::fflush(f) == 0;
+    std::fclose(f);
+    SP_ASSERT(ok, "short write to shard index %s", path.c_str());
+    SP_ASSERT(std::rename(tmp.c_str(), path.c_str()) == 0,
+              "cannot move shard index into place at %s", path.c_str());
+}
+
+}  // namespace
+
+ShardWriter::ShardWriter(const std::string &path,
+                         uint64_t kernel_fingerprint)
+    : writer_(path, kernel_fingerprint)
+{
+}
+
+ShardWriter::~ShardWriter()
+{
+    close();
+}
+
+size_t
+ShardWriter::append(const BaseRecord &base)
+{
+    PayloadWriter payload;
+    encodeBase(payload, base);
+    ++index_.bases;
+    return writer_.append(kRecordBase, payload);
+}
+
+size_t
+ShardWriter::append(const ExampleRecord &example)
+{
+    PayloadWriter payload;
+    encodeExample(payload, example);
+    switch (example.split) {
+      case kSplitTrain:
+        ++index_.train;
+        break;
+      case kSplitValid:
+        ++index_.valid;
+        break;
+      default:
+        ++index_.eval;
+        break;
+    }
+    return writer_.append(kRecordExample, payload);
+}
+
+void
+ShardWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    writer_.close();
+    index_.bytes = writer_.bytesWritten();
+    writeShardIndex(writer_.path(), index_);
+}
+
+bool
+ShardReader::next(BaseRecord &base, ExampleRecord &example,
+                  bool &is_base)
+{
+    uint32_t kind = 0;
+    PayloadReader payload;
+    if (!reader_.next(kind, payload))
+        return false;
+    switch (kind) {
+      case kRecordBase:
+        decodeBase(payload, base);
+        is_base = true;
+        return true;
+      case kRecordExample:
+        decodeExample(payload, example);
+        is_base = false;
+        return true;
+      default:
+        SP_FATAL("%s: unknown shard record kind %u", path().c_str(),
+                 kind);
+    }
+}
+
+}  // namespace sp::data

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Typed records of the example store, on top of the framed shard
+ * format (format.h).
+ *
+ * A shard interleaves two record kinds:
+ *
+ *  - BaseRecord: one base test — its content hash, the program text
+ *    (prog::formatProg, which round-trips exactly), and the coverage
+ *    the deterministic executor observed for it (sorted block list +
+ *    edge count). The coverage is integrity metadata: loaders
+ *    re-execute the base against their kernel and verify they observe
+ *    the identical coverage, which catches "trained on shard from a
+ *    different kernel" long before the model quietly degrades.
+ *  - ExampleRecord: one §3.1 training example referencing its base by
+ *    hash, with its split tag, target blocks and ground-truth sites.
+ *
+ * Writers must emit a base before any example referencing it; a
+ * truncated shard therefore only ever loses tail examples, never the
+ * base an already-read example depends on.
+ *
+ * Every shard carries a sidecar index `<shard>.idx` with record
+ * counts, written atomically on close. Readers treat it as a cache:
+ * statistics come from the index when present and fall back to a full
+ * scan (a crash-truncated shard typically has no index).
+ */
+#ifndef SP_DATA_SHARD_H
+#define SP_DATA_SHARD_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/format.h"
+#include "mutate/localizer.h"
+
+namespace sp::data {
+
+/** Split tags stored in example records. */
+constexpr uint8_t kSplitTrain = 0;
+constexpr uint8_t kSplitValid = 1;
+constexpr uint8_t kSplitEval = 2;
+
+/** One base test (see file comment). */
+struct BaseRecord
+{
+    uint64_t base_hash = 0;
+    std::string text;               ///< prog::formatProg rendering
+    std::vector<uint32_t> blocks;   ///< sorted deterministic coverage
+    uint64_t edges = 0;             ///< deterministic edge count
+};
+
+/** One training example, referencing its base by content hash. */
+struct ExampleRecord
+{
+    uint64_t base_hash = 0;
+    uint8_t split = kSplitTrain;
+    std::vector<uint32_t> targets;
+    std::vector<mut::ArgLocation> sites;
+};
+
+/** Aggregate counts of one shard (the sidecar index's content). */
+struct ShardIndex
+{
+    uint64_t bases = 0;
+    uint64_t train = 0;
+    uint64_t valid = 0;
+    uint64_t eval = 0;
+    uint64_t bytes = 0;  ///< shard file size at close
+
+    uint64_t
+    examples() const
+    {
+        return train + valid + eval;
+    }
+};
+
+/** Sidecar index path of a shard. */
+std::string indexPathFor(const std::string &shard_path);
+
+/** Read a shard's sidecar index; nullopt when absent or invalid. */
+std::optional<ShardIndex> readShardIndex(const std::string &shard_path);
+
+/**
+ * Writes one shard and, on close, its sidecar index. Single-threaded.
+ */
+class ShardWriter
+{
+  public:
+    ShardWriter(const std::string &path, uint64_t kernel_fingerprint);
+    ~ShardWriter();
+
+    /** Append records; returns the frame's byte size. */
+    size_t append(const BaseRecord &base);
+    size_t append(const ExampleRecord &example);
+
+    /** Flush records and write the sidecar index (idempotent). */
+    void close();
+
+    uint64_t bytesWritten() const { return writer_.bytesWritten(); }
+    const ShardIndex &index() const { return index_; }
+
+  private:
+    FrameWriter writer_;
+    ShardIndex index_;
+    bool closed_ = false;
+};
+
+/**
+ * Reads a shard's records in order. Wraps FrameReader with payload
+ * decoding; end-of-stream and truncation semantics are FrameReader's.
+ */
+class ShardReader
+{
+  public:
+    explicit ShardReader(const std::string &path) : reader_(path) {}
+
+    uint64_t
+    kernelFingerprint() const
+    {
+        return reader_.kernelFingerprint();
+    }
+
+    /**
+     * Read the next record into exactly one of `base`/`example`;
+     * returns false at end of input. `is_base` says which was filled.
+     */
+    bool next(BaseRecord &base, ExampleRecord &example, bool &is_base);
+
+    bool truncated() const { return reader_.truncated(); }
+    const std::string &path() const { return reader_.path(); }
+
+  private:
+    FrameReader reader_;
+};
+
+}  // namespace sp::data
+
+#endif  // SP_DATA_SHARD_H

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The sharded example store: datasets (core/dataset.h) persisted as
+ * one or more shard files (shard.h).
+ *
+ * Identity is content-addressed: a base test is identified by the
+ * FNV-1a hash of its program text (progKey), an example by
+ * core::exampleKey under its base's hash — so deduplication across
+ * shards, merges and harvest sessions never depends on in-memory
+ * indices or discovery order.
+ *
+ * writeStore slices a dataset into contiguous base ranges, one shard
+ * per range, each example stored in its base's shard; loadStore reads
+ * shards back in path order, re-executes every base deterministically
+ * and verifies the observed coverage matches the stored record — a
+ * shard collected on a different kernel fails loudly (the header
+ * fingerprint catches structural drift, the coverage check catches
+ * everything else). A single-shard store round-trips a dataset with
+ * base order, split membership and example order preserved exactly.
+ *
+ * mergeStore compacts any number of shards into one: bases deduped by
+ * hash, examples deduped by content key, the §3.1 popularity cap
+ * re-applied under a seeded shuffle, and splits re-rolled purely from
+ * (base hash, seed) — so every example of one base lands in one split
+ * no matter how many shards or merge rounds it traveled through
+ * (the split-by-base invariant), and merging the same inputs twice
+ * yields byte-identical output.
+ */
+#ifndef SP_DATA_STORE_H
+#define SP_DATA_STORE_H
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "data/shard.h"
+#include "kernel/kernel.h"
+
+namespace sp::data {
+
+/**
+ * Structural fingerprint of a kernel (version, block count, syscall
+ * surface). Stored in every shard header; loaders refuse shards whose
+ * fingerprint differs from the kernel they are loading against.
+ */
+uint64_t kernelFingerprint(const kern::Kernel &kernel);
+
+/** Content identity of a base test: FNV-1a of its formatProg text. */
+uint64_t progKey(const prog::Prog &prog);
+
+/**
+ * Deterministic split of a base: a hash roll of (base_hash, seed)
+ * against train_fraction (remainder halved into valid/eval), matching
+ * collectDataset's split proportions. Depends on nothing but the base
+ * content — the invariant mergeStore relies on.
+ */
+uint8_t splitOfBase(uint64_t base_hash, uint64_t seed,
+                    double train_fraction);
+
+/**
+ * Write `dataset` as `shard_count` shards named
+ * `<dir>/shard-NNN.spds` (dir is created if missing). Returns the
+ * shard paths in base order.
+ */
+std::vector<std::string> writeStore(const core::Dataset &dataset,
+                                    const std::string &dir,
+                                    size_t shard_count = 1);
+
+/**
+ * Load shards into one dataset bound to `kernel`. Bases are deduped
+ * by hash across shards; examples combine as a multiset union by
+ * content key (listing a shard twice never inflates the splits, but
+ * legitimate duplicate examples within one shard round-trip). Bases
+ * are re-executed deterministically and verified against their stored
+ * coverage. A torn tail (crash-truncated shard)
+ * reads cleanly up to the last valid record; `truncated_out`, when
+ * non-null, reports whether any shard was cut short. Collection-time
+ * statistics (Dataset::stats) are not persisted and stay default.
+ */
+core::Dataset loadStore(const kern::Kernel &kernel,
+                        const std::vector<std::string> &paths,
+                        bool *truncated_out = nullptr);
+
+/** Merge/compaction knobs (see file comment). */
+struct MergeOptions
+{
+    uint64_t seed = 1;
+    size_t popularity_cap = 400;
+    double train_fraction = 0.8;
+};
+
+/**
+ * Merge `inputs` into the single shard `out_path`. Needs no kernel:
+ * base records are carried verbatim (all inputs must agree on the
+ * kernel fingerprint). Bases with no surviving example are dropped.
+ * Returns the merged shard's index.
+ */
+ShardIndex mergeStore(const std::vector<std::string> &inputs,
+                      const std::string &out_path,
+                      const MergeOptions &opts = {});
+
+/** Aggregate statistics over a set of shards. */
+struct StoreStats
+{
+    size_t shards = 0;
+    size_t indexed_shards = 0;    ///< served from sidecar indices
+    size_t truncated_shards = 0;  ///< detected by scan only
+    ShardIndex totals;
+};
+
+/**
+ * Count a store's contents: sidecar indices where present, full scans
+ * otherwise (a crash-truncated shard has no index; the scan reports
+ * what is recoverable).
+ */
+StoreStats statStore(const std::vector<std::string> &paths);
+
+}  // namespace sp::data
+
+#endif  // SP_DATA_STORE_H

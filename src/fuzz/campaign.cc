@@ -151,11 +151,16 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
  * runs the program, records crashes, offers it to the corpus, tallies
  * and traces the outcome, then retires the slot and runs the checkpoint
  * stage. Returns false when no slot could be claimed (budget spent).
+ *
+ * `base`/`base_result` identify the program the mutant was derived
+ * from (argument lane only); they exist solely for the campaign's
+ * mutation observer and may be null.
  */
 bool
 executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
             MutationLane lane, const mut::ArgLocation *site,
-            bool bounded)
+            bool bounded, const prog::Prog *base = nullptr,
+            const exec::ExecResult *base_result = nullptr)
 {
     detail::CampaignShared &shared = *env.shared;
     const BudgetGrant grant = shared.ledger->claim(1, bounded);
@@ -201,6 +206,20 @@ executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
         if (admitted)
             metrics.structural_admitted.inc();
         break;
+    }
+    if (shared.observer != nullptr && *shared.observer &&
+        site != nullptr && base != nullptr) {
+        MutationEvent event;
+        event.worker = env.worker_id;
+        event.slot = slot;
+        event.base = base;
+        event.base_result = base_result;
+        event.site = site;
+        event.mutant = &program;
+        event.result = &result;
+        event.admitted = admitted;
+        event.new_edges = new_edges;
+        (*shared.observer)(event);
     }
     if (auto *sink = obs::sink()) {
         sink->event(
@@ -329,7 +348,8 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
                 if (!instantiated)
                     break;
                 executeSlot(env, mutant, MutationLane::Argument, &site,
-                            /*bounded=*/true);
+                            /*bounded=*/true, &base_program,
+                            &base_result);
             }
             if (ledger.exhausted() || shared.stopped())
                 break;
@@ -496,6 +516,8 @@ CampaignEngine::run()
     shared.opts = &opts_.fuzz;
     shared.corpus = &corpus_;
     shared.crashes = &crashes_;
+    if (opts_.on_mutation)
+        shared.observer = &opts_.on_mutation;
     BudgetLedger ledger(opts_.fuzz.exec_budget,
                         opts_.fuzz.checkpoint_every);
     shared.ledger = &ledger;

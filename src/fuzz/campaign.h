@@ -42,6 +42,32 @@
 
 namespace sp::fuzz {
 
+/**
+ * One executed argument-lane mutant, offered to the campaign's
+ * mutation observer right after triage/admit. All pointers reference
+ * worker-stack state and are valid ONLY for the duration of the
+ * callback — an observer that wants the data must copy it. The
+ * callback runs on the worker thread inside the execute stage, so
+ * observers must be cheap and thread-safe (multiple workers call
+ * concurrently); anything expensive belongs on the observer's own
+ * thread (see data::Harvester).
+ */
+struct MutationEvent
+{
+    size_t worker = 0;
+    uint64_t slot = 0;  ///< 1-based execution number
+    const prog::Prog *base = nullptr;
+    const exec::ExecResult *base_result = nullptr;
+    const mut::ArgLocation *site = nullptr;  ///< instantiated site
+    const prog::Prog *mutant = nullptr;
+    const exec::ExecResult *result = nullptr;  ///< mutant's execution
+    bool admitted = false;    ///< corpus accepted it (new edges)
+    size_t new_edges = 0;
+};
+
+/** Campaign mutation-event hook (empty = no observer installed). */
+using MutationObserver = std::function<void(const MutationEvent &)>;
+
 /** Execution options the fuzz loop derives from its own options. */
 exec::ExecOptions execOptionsFor(const FuzzOptions &opts);
 
@@ -88,6 +114,13 @@ struct CampaignShared
 
     /** Optional stop predicate (legacy runUntil); empty = never. */
     std::function<bool()> stop;
+
+    /**
+     * Mutation observer (CampaignOptions::on_mutation); null or empty
+     * = none. A pointer so per-exec hot paths test one load instead of
+     * copying a std::function per campaign.
+     */
+    const MutationObserver *observer = nullptr;
 
     bool
     stopped() const
@@ -149,6 +182,12 @@ struct CampaignOptions
     /** Worker threads; 1 reproduces the legacy loop bit-for-bit. */
     size_t workers = 1;
     FuzzOptions fuzz;
+    /**
+     * Called for every argument-lane mutant right after triage (from
+     * worker threads; see MutationEvent's contract). Feeds continual
+     * dataset harvesting without the fuzz layer knowing about it.
+     */
+    MutationObserver on_mutation;
 };
 
 /**

@@ -82,4 +82,33 @@ Adam::clipGradNorm(float max_norm)
     return norm;
 }
 
+AdamState
+Adam::snapshot() const
+{
+    AdamState state;
+    state.step_count = t_;
+    state.first_moments = m_;
+    state.second_moments = v_;
+    return state;
+}
+
+void
+Adam::restore(const AdamState &state)
+{
+    SP_ASSERT(state.first_moments.size() == params_.size() &&
+                  state.second_moments.size() == params_.size(),
+              "Adam state has %zu/%zu moment vectors, optimizer has "
+              "%zu parameters",
+              state.first_moments.size(), state.second_moments.size(),
+              params_.size());
+    for (size_t pi = 0; pi < params_.size(); ++pi) {
+        SP_ASSERT(state.first_moments[pi].size() == m_[pi].size() &&
+                      state.second_moments[pi].size() == v_[pi].size(),
+                  "Adam state size mismatch for parameter %zu", pi);
+    }
+    t_ = state.step_count;
+    m_ = state.first_moments;
+    v_ = state.second_moments;
+}
+
 }  // namespace sp::nn

@@ -35,6 +35,20 @@ class Sgd
     float weight_decay_;
 };
 
+/**
+ * Adam's mutable state: the step count and both moment estimates, one
+ * vector per parameter in parameter-list order. Snapshotting and
+ * restoring this (plus the parameters themselves) resumes training
+ * mid-run with bit-identical updates — the payload `train --resume`
+ * checkpoints through nn/serialize.
+ */
+struct AdamState
+{
+    int64_t step_count = 0;
+    std::vector<std::vector<float>> first_moments;
+    std::vector<std::vector<float>> second_moments;
+};
+
 /** Adam (Kingma & Ba) with decoupled weight decay (AdamW-style). */
 class Adam
 {
@@ -65,6 +79,15 @@ class Adam
      * before stepping. Returns the pre-clip norm.
      */
     float clipGradNorm(float max_norm);
+
+    /** Copy out the optimizer's mutable state. */
+    AdamState snapshot() const;
+
+    /**
+     * Restore a snapshot taken from an identically-shaped optimizer.
+     * Fatal on a parameter-count or per-parameter-size mismatch.
+     */
+    void restore(const AdamState &state);
 
   private:
     std::vector<Parameter> params_;

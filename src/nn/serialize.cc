@@ -9,7 +9,17 @@ namespace sp::nn {
 
 namespace {
 
-constexpr uint64_t kMagic = 0x53504e4e434b5031ULL;  // "SPNNCKP1"
+constexpr uint64_t kMagicV1 = 0x53504e4e434b5031ULL;  // "SPNNCKP1"
+constexpr uint64_t kMagic = 0x53504e4e434b5032ULL;    // "SPNNCKP2"
+constexpr uint32_t kVersion = 2;
+/** Written natively; reads as 0x04030201 on a byte-swapped host. */
+constexpr uint32_t kEndianGuard = 0x01020304;
+
+/** Optional-section tags following the parameter table. */
+enum SectionKind : uint32_t {
+    kSectionOptimizer = 1,
+    kSectionTrainer = 2,
+};
 
 struct FileCloser
 {
@@ -38,78 +48,249 @@ readRaw(std::FILE *f, T &value)
         SP_FATAL("checkpoint read failed (truncated file?)");
 }
 
-}  // namespace
+void
+writeFloats(std::FILE *f, const std::vector<float> &data)
+{
+    const uint64_t n = data.size();
+    writeRaw(f, n);
+    if (n > 0 && std::fwrite(data.data(), sizeof(float), n, f) != n)
+        SP_FATAL("checkpoint write failed");
+}
 
 void
-saveParameters(const Module &module, const std::string &path)
+readFloats(std::FILE *f, std::vector<float> &data)
 {
-    FileHandle f(std::fopen(path.c_str(), "wb"));
-    if (!f)
-        SP_FATAL("cannot open checkpoint for writing: %s", path.c_str());
+    uint64_t n = 0;
+    readRaw(f, n);
+    data.resize(n);
+    if (n > 0 && std::fread(data.data(), sizeof(float), n, f) != n)
+        SP_FATAL("checkpoint read failed (truncated file?)");
+}
 
-    writeRaw(f.get(), kMagic);
+void
+writeHeader(std::FILE *f)
+{
+    writeRaw(f, kMagic);
+    writeRaw(f, kVersion);
+    writeRaw(f, kEndianGuard);
+}
+
+void
+checkHeader(std::FILE *f, const std::string &path)
+{
+    uint64_t magic = 0;
+    readRaw(f, magic);
+    if (magic == kMagicV1) {
+        SP_FATAL("%s is a format-v1 checkpoint (no version/endianness "
+                 "header); re-save it with this build",
+                 path.c_str());
+    }
+    if (magic != kMagic)
+        SP_FATAL("%s is not a Snowplow checkpoint (bad magic "
+                 "%016llx, expected %016llx)",
+                 path.c_str(), static_cast<unsigned long long>(magic),
+                 static_cast<unsigned long long>(kMagic));
+    uint32_t version = 0;
+    readRaw(f, version);
+    if (version != kVersion)
+        SP_FATAL("%s has checkpoint format version %u; this build "
+                 "reads version %u",
+                 path.c_str(), version, kVersion);
+    uint32_t endian = 0;
+    readRaw(f, endian);
+    if (endian != kEndianGuard)
+        SP_FATAL("%s was written on a host of different endianness "
+                 "(guard %08x)",
+                 path.c_str(), endian);
+}
+
+void
+writeParameterTable(std::FILE *f, const Module &module)
+{
     const uint64_t count = module.parameters().size();
-    writeRaw(f.get(), count);
+    writeRaw(f, count);
     for (const auto &p : module.parameters()) {
         const uint64_t name_len = p.name.size();
-        writeRaw(f.get(), name_len);
-        if (std::fwrite(p.name.data(), 1, p.name.size(), f.get()) !=
+        writeRaw(f, name_len);
+        if (std::fwrite(p.name.data(), 1, p.name.size(), f) !=
             p.name.size()) {
             SP_FATAL("checkpoint write failed");
         }
         const int64_t rows = p.tensor.rows();
         const int64_t cols = p.tensor.cols();
-        writeRaw(f.get(), rows);
-        writeRaw(f.get(), cols);
+        writeRaw(f, rows);
+        writeRaw(f, cols);
         const auto &data = p.tensor.data();
-        if (std::fwrite(data.data(), sizeof(float), data.size(), f.get()) !=
+        if (std::fwrite(data.data(), sizeof(float), data.size(), f) !=
             data.size()) {
             SP_FATAL("checkpoint write failed");
         }
     }
 }
 
-bool
-loadParameters(Module &module, const std::string &path)
+void
+readParameterTable(std::FILE *f, Module &module, const std::string &path)
 {
-    FileHandle f(std::fopen(path.c_str(), "rb"));
-    if (!f)
-        return false;
-
-    uint64_t magic = 0;
-    readRaw(f.get(), magic);
-    if (magic != kMagic)
-        SP_FATAL("bad checkpoint magic in %s", path.c_str());
     uint64_t count = 0;
-    readRaw(f.get(), count);
+    readRaw(f, count);
     if (count != module.parameters().size()) {
-        SP_FATAL("checkpoint has %llu parameters, module has %zu",
+        SP_FATAL("%s has %llu parameters, module has %zu", path.c_str(),
                  static_cast<unsigned long long>(count),
                  module.parameters().size());
     }
     for (const auto &p : module.parameters()) {
         uint64_t name_len = 0;
-        readRaw(f.get(), name_len);
+        readRaw(f, name_len);
         std::string name(name_len, '\0');
         if (name_len > 0 &&
-            std::fread(name.data(), 1, name_len, f.get()) != name_len) {
-            SP_FATAL("checkpoint read failed");
+            std::fread(name.data(), 1, name_len, f) != name_len) {
+            SP_FATAL("checkpoint read failed (truncated file?)");
         }
         if (name != p.name)
             SP_FATAL("checkpoint parameter %s does not match module "
                      "parameter %s", name.c_str(), p.name.c_str());
         int64_t rows = 0, cols = 0;
-        readRaw(f.get(), rows);
-        readRaw(f.get(), cols);
+        readRaw(f, rows);
+        readRaw(f, cols);
         if (rows != p.tensor.rows() || cols != p.tensor.cols())
             SP_FATAL("checkpoint shape mismatch for %s", name.c_str());
         // Parameter handles are shared; write through the node.
         auto &data = const_cast<Parameter &>(p).tensor.mutableData();
-        if (std::fread(data.data(), sizeof(float), data.size(), f.get()) !=
+        if (std::fread(data.data(), sizeof(float), data.size(), f) !=
             data.size()) {
-            SP_FATAL("checkpoint read failed");
+            SP_FATAL("checkpoint read failed (truncated file?)");
         }
     }
+}
+
+void
+writeSections(std::FILE *f, const AdamState *optimizer,
+              const std::vector<uint8_t> *trainer_state)
+{
+    if (optimizer != nullptr) {
+        writeRaw(f, static_cast<uint32_t>(kSectionOptimizer));
+        writeRaw(f, optimizer->step_count);
+        const uint64_t params = optimizer->first_moments.size();
+        writeRaw(f, params);
+        for (uint64_t pi = 0; pi < params; ++pi) {
+            writeFloats(f, optimizer->first_moments[pi]);
+            writeFloats(f, optimizer->second_moments[pi]);
+        }
+    }
+    if (trainer_state != nullptr) {
+        writeRaw(f, static_cast<uint32_t>(kSectionTrainer));
+        const uint64_t len = trainer_state->size();
+        writeRaw(f, len);
+        if (len > 0 &&
+            std::fwrite(trainer_state->data(), 1, len, f) != len) {
+            SP_FATAL("checkpoint write failed");
+        }
+    }
+}
+
+void
+readSections(std::FILE *f, const std::string &path,
+             AdamState *optimizer_out,
+             std::vector<uint8_t> *trainer_state_out)
+{
+    uint32_t kind = 0;
+    while (std::fread(&kind, sizeof(kind), 1, f) == 1) {
+        switch (kind) {
+          case kSectionOptimizer: {
+            AdamState state;
+            readRaw(f, state.step_count);
+            uint64_t params = 0;
+            readRaw(f, params);
+            state.first_moments.resize(params);
+            state.second_moments.resize(params);
+            for (uint64_t pi = 0; pi < params; ++pi) {
+                readFloats(f, state.first_moments[pi]);
+                readFloats(f, state.second_moments[pi]);
+            }
+            if (optimizer_out != nullptr)
+                *optimizer_out = std::move(state);
+            break;
+          }
+          case kSectionTrainer: {
+            uint64_t len = 0;
+            readRaw(f, len);
+            std::vector<uint8_t> blob(len);
+            if (len > 0 &&
+                std::fread(blob.data(), 1, len, f) != len) {
+                SP_FATAL("checkpoint read failed (truncated file?)");
+            }
+            if (trainer_state_out != nullptr)
+                *trainer_state_out = std::move(blob);
+            break;
+          }
+          default:
+            SP_FATAL("%s: unknown checkpoint section kind %u",
+                     path.c_str(), kind);
+        }
+    }
+}
+
+void
+writeFile(const Module &module, const std::string &path,
+          const AdamState *optimizer,
+          const std::vector<uint8_t> *trainer_state)
+{
+    // Write-then-rename: a concurrent or crashed-over reader sees
+    // either the previous checkpoint or the complete new one.
+    const std::string tmp = path + ".tmp";
+    {
+        FileHandle f(std::fopen(tmp.c_str(), "wb"));
+        if (!f)
+            SP_FATAL("cannot open checkpoint for writing: %s",
+                     tmp.c_str());
+        writeHeader(f.get());
+        writeParameterTable(f.get(), module);
+        writeSections(f.get(), optimizer, trainer_state);
+        if (std::fflush(f.get()) != 0)
+            SP_FATAL("checkpoint flush failed: %s", tmp.c_str());
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        SP_FATAL("cannot rename %s into place", tmp.c_str());
+}
+
+}  // namespace
+
+void
+saveParameters(const Module &module, const std::string &path)
+{
+    writeFile(module, path, nullptr, nullptr);
+}
+
+bool
+loadParameters(Module &module, const std::string &path)
+{
+    return loadCheckpoint(module, path, nullptr, nullptr);
+}
+
+void
+saveCheckpoint(const Module &module, const std::string &path,
+               const AdamState *optimizer,
+               const std::vector<uint8_t> *trainer_state)
+{
+    writeFile(module, path, optimizer, trainer_state);
+}
+
+bool
+loadCheckpoint(Module &module, const std::string &path,
+               AdamState *optimizer_out,
+               std::vector<uint8_t> *trainer_state_out)
+{
+    FileHandle f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+    if (optimizer_out != nullptr)
+        *optimizer_out = AdamState{};
+    if (trainer_state_out != nullptr)
+        trainer_state_out->clear();
+
+    checkHeader(f.get(), path);
+    readParameterTable(f.get(), module, path);
+    readSections(f.get(), path, optimizer_out, trainer_state_out);
     return true;
 }
 

@@ -1,15 +1,32 @@
 /**
  * @file
- * Checkpoint I/O: save and restore a module's parameters to a simple
- * binary format (magic, count, then name/shape/data records). Used so
- * that a PMM trained in one binary (or example) can be reused in another.
+ * Checkpoint I/O, format v2.
+ *
+ * Layout: a versioned header (magic, format version, endianness guard)
+ * so a reader can reject foreign, stale or byte-swapped files with a
+ * clear error instead of silently misreading them, then the parameter
+ * table (count, name/shape/data records), then optional tagged
+ * sections:
+ *
+ *  - an optimizer section carrying Adam's step count and moment
+ *    estimates, and
+ *  - an opaque trainer section (core/train's epoch cursor, RNG state
+ *    and best-validation bookkeeping),
+ *
+ * which together make `train --resume` bit-identical to an
+ * uninterrupted run. loadParameters() skips the optional sections, so a
+ * resume checkpoint doubles as a plain model checkpoint everywhere else
+ * (fuzzing, inference, evaluation).
  */
 #ifndef SP_NN_SERIALIZE_H
 #define SP_NN_SERIALIZE_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/module.h"
+#include "nn/optimizer.h"
 
 namespace sp::nn {
 
@@ -19,9 +36,31 @@ void saveParameters(const Module &module, const std::string &path);
 /**
  * Load parameters into `module` from `path`, matching by name and shape.
  * Returns false (leaving the module untouched) when the file does not
- * exist; fatal on a malformed file or name/shape mismatch.
+ * exist; fatal — with an error naming the problem — on a wrong magic,
+ * an unsupported format version, an endianness mismatch, a truncated
+ * file, or a name/shape mismatch. Optional sections are skipped.
  */
 bool loadParameters(Module &module, const std::string &path);
+
+/**
+ * Write a full training checkpoint: parameters plus the optional
+ * optimizer and trainer-state sections (either may be null). The file
+ * is written to `path + ".tmp"` and renamed into place, so a reader
+ * never sees a half-written checkpoint.
+ */
+void saveCheckpoint(const Module &module, const std::string &path,
+                    const AdamState *optimizer,
+                    const std::vector<uint8_t> *trainer_state);
+
+/**
+ * Load a full training checkpoint. Returns false when the file does not
+ * exist. `optimizer_out`/`trainer_state_out` (either may be null) are
+ * filled from the matching sections when present and cleared to empty
+ * defaults when the file lacks them (a plain saveParameters file).
+ */
+bool loadCheckpoint(Module &module, const std::string &path,
+                    AdamState *optimizer_out,
+                    std::vector<uint8_t> *trainer_state_out);
 
 }  // namespace sp::nn
 

@@ -149,4 +149,17 @@ Rng::fork()
     return Rng(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+std::array<uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<uint64_t, 4> &state)
+{
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = state[i];
+}
+
 }  // namespace sp

@@ -10,6 +10,7 @@
 #ifndef SP_UTIL_RNG_H
 #define SP_UTIL_RNG_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -66,6 +67,17 @@ class Rng
 
     /** Fork a child generator whose stream is independent of this one. */
     Rng fork();
+
+    /**
+     * @name Raw generator state (train-checkpoint persistence)
+     * A generator restored via setState() continues the exact draw
+     * sequence the snapshotted generator would have produced — the
+     * contract `train --resume` relies on for bit-identical runs.
+     */
+    /** @{ */
+    std::array<uint64_t, 4> state() const;
+    void setState(const std::array<uint64_t, 4> &state);
+    /** @} */
 
   private:
     uint64_t s_[4];
