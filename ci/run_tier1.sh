@@ -90,9 +90,9 @@ validate_jsonl "$snowplow" \
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
-    obs_test trace_test data_test
+    obs_test trace_test data_test covmap_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test)$'
+    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -136,6 +136,54 @@ if overhead >= 0.01:
     raise SystemExit("tracing-disabled overhead exceeds 1% of a slot")
 PY
 
+# Coverage-cartography perf gate: hit recording must cost under 2% of
+# a full campaign slot, and the disabled site must be unmeasurable.
+# The ratio is derived from the stable micro numbers (per-program
+# recording cost / per-execution campaign slot cost) rather than by
+# differencing two noisy end-to-end runs; the end-to-end enabled:0/1
+# pair still lands in BENCH_covmap.json for eyeballing.
+./build/bench/covmap \
+    --benchmark_min_time=0.02 \
+    --benchmark_out=BENCH_covmap.json --benchmark_out_format=json \
+    > /dev/null
+python3 - <<'PY'
+import json
+
+with open("BENCH_covmap.json") as f:
+    report = json.load(f)
+names = [b["name"] for b in report["benchmarks"]]
+for needle in ("BM_CovmapOverhead/enabled:0", "BM_CovmapOverhead/enabled:1",
+               "BM_CovmapDisabledSite", "BM_CovmapRecordProgram",
+               "BM_CovmapMerge"):
+    if not any(needle in n for n in names):
+        raise SystemExit(f"BENCH_covmap.json: missing {needle} results")
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def bench(needle):
+    return next(b for b in report["benchmarks"] if needle in b["name"])
+
+def time_ns(needle):
+    b = bench(needle)
+    return b["real_time"] * UNIT_NS[b["time_unit"]]
+
+# Per-execution cost of one plain campaign slot (schedule through
+# checkpoint; items are executions).
+slot_ns = 1e9 / bench("BM_CovmapOverhead/enabled:0")["items_per_second"]
+record_ns = time_ns("BM_CovmapRecordProgram")  # per executed program
+site_ns = time_ns("BM_CovmapDisabledSite")     # null-shard branch
+enabled = record_ns / slot_ns
+disabled = site_ns / slot_ns
+print(f"BENCH_covmap.json: slot {slot_ns:.0f} ns, "
+      f"record {record_ns:.1f} ns/exec, site {site_ns:.2f} ns -> "
+      f"enabled {100.0 * enabled:.2f}%, "
+      f"disabled {100.0 * disabled:.4f}% per slot")
+if enabled >= 0.02:
+    raise SystemExit("covmap hit-recording overhead exceeds 2% of a slot")
+if disabled >= 0.0001:
+    raise SystemExit("covmap disabled-site overhead is measurable")
+PY
+
 # Stage 5: introspection smoke — a short multi-worker campaign with
 # span tracing and the status server up, scraped over HTTP while the
 # process idles in --status-hold. Validates /metrics and /status
@@ -143,19 +191,21 @@ PY
 # trace parses as Chrome trace_event JSON covering the pipeline.
 trace_json=$(mktemp /tmp/sp_ci_trace.XXXXXX.json)
 introspect=$(mktemp /tmp/sp_ci_introspect.XXXXXX.jsonl)
-trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect"' EXIT
-python3 - "$trace_json" "$introspect" <<'PY'
+cov_live=$(mktemp /tmp/sp_ci_covlive.XXXXXX.jsonl)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live"' EXIT
+python3 - "$trace_json" "$introspect" "$cov_live" <<'PY'
 import json
 import re
 import subprocess
 import sys
 import urllib.request
 
-trace_path, metrics_path = sys.argv[1], sys.argv[2]
+trace_path, metrics_path, covmap_path = sys.argv[1:4]
 proc = subprocess.Popen(
     ["./build/examples/snowplow_cli", "fuzz",
      "--budget", "5000", "--seed", "1", "--workers", "4",
      "--metrics-out", metrics_path,
+     "--covmap-out", covmap_path,
      "--trace-out", trace_path, "--trace-sample", "1",
      "--status-port", "0", "--status-hold", "1"],
     stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
@@ -215,6 +265,22 @@ for name in required:
 if get("/healthz").strip() != "ok":
     sys.exit("/healthz: not ok")
 
+# /coverage serves the frozen end-of-campaign covmap summary while the
+# process idles in --status-hold.
+coverage = json.loads(get("/coverage"))
+if coverage.get("enabled") is not True:
+    sys.exit("/coverage: not enabled despite --covmap-out")
+for key in ("execs", "windows", "blocks_hit", "edges_hit",
+            "frontier_size", "frontier"):
+    if key not in coverage:
+        sys.exit(f"/coverage: missing key {key!r}")
+if coverage["execs"] < 5000 or coverage["blocks_hit"] <= 0:
+    sys.exit(f"/coverage: implausible summary: {coverage}")
+for entry in coverage["frontier"]:
+    for key in ("target", "guard", "guard_hits"):
+        if key not in entry:
+            sys.exit(f"/coverage: frontier entry missing {key!r}")
+
 # Release the hold and let the process export the trace and exit.
 proc.stdin.write("\n")
 proc.stdin.close()
@@ -240,7 +306,112 @@ print(f"introspection smoke: port {port}, {len(status['workers'])} "
       f"{len(required)} required metrics present")
 PY
 
-# Stage 6: dataset store round-trip smoke — collect a store into
+# Stage 6: coverage-cartography round trip — profile a short campaign
+# (--covmap-out), validate the snapshot log against its checked-in
+# schema, run `analyze` and validate the report, then feed the ranked
+# cold-frontier targets back through `fuzz --directed-from`.
+cov_log=$(mktemp /tmp/sp_ci_covlog.XXXXXX.jsonl)
+cov_report=$(mktemp /tmp/sp_ci_covreport.XXXXXX.json)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live" "$cov_log" "$cov_report"' EXIT
+./build/examples/snowplow_cli fuzz --budget 5000 --seed 1 --workers 2 \
+    --covmap-out "$cov_log" > /dev/null
+./build/examples/snowplow_cli analyze "$cov_log" --seed 1 \
+    --targets 16 --out "$cov_report" \
+    | grep -q 'cold-frontier targets' || {
+        echo "analyze: missing heat report"; exit 1; }
+python3 - "$cov_log" "$cov_report" <<'PY'
+import json
+import sys
+
+log_path, report_path = sys.argv[1], sys.argv[2]
+TYPES = {"int": int, "str": str, "list": list, "dict": dict,
+         "bool": bool}
+
+def check(obj, spec, where):
+    for key, type_name in spec.items():
+        if key not in obj:
+            sys.exit(f"{where}: missing key {key!r}")
+        value = obj[key]
+        if not isinstance(value, TYPES[type_name]) or (
+                type_name == "int" and isinstance(value, bool)):
+            sys.exit(f"{where}.{key} is not {type_name}")
+
+# --- snapshot log: header, windows, final --------------------------
+with open("ci/schemas/covmap_log.schema.json") as f:
+    log_schema = json.load(f)
+with open(log_path) as f:
+    lines = [json.loads(line) for line in f]
+if len(lines) < 3:
+    sys.exit(f"{log_path}: expected header + windows + final")
+header, windows, final = lines[0], lines[1:-1], lines[-1]
+
+check(header, log_schema["header"], "covmap_header")
+if header["type"] != "covmap_header":
+    sys.exit("covmap log: first line is not covmap_header")
+if header["version"] != log_schema["version"]:
+    sys.exit(f"covmap log: version {header['version']} unsupported")
+if len(header["edges"]) != header["num_edges"]:
+    sys.exit("covmap log: edges length != num_edges")
+for pair in header["edges"]:
+    if not (isinstance(pair, list) and len(pair) == 2):
+        sys.exit(f"covmap log: malformed edge {pair!r}")
+
+hits = [0] * header["num_blocks"]
+for i, window in enumerate(windows):
+    check(window, log_schema["window"], f"window[{i}]")
+    if window["type"] != "covmap_window":
+        sys.exit(f"covmap log: line {i + 2} is not covmap_window")
+    for index, delta in window["block_deltas"]:
+        if delta <= 0:
+            sys.exit(f"window[{i}]: non-positive block delta")
+        hits[index] += delta
+
+check(final, log_schema["final"], "covmap_final")
+if final["type"] != "covmap_final":
+    sys.exit("covmap log: last line is not covmap_final")
+if final["windows"] != len(windows):
+    sys.exit("covmap log: final window count disagrees")
+reached = sum(1 for h in hits if h)
+if reached != final["blocks_hit"]:
+    sys.exit(f"covmap log: delta reconstruction gives {reached} "
+             f"reached blocks, final says {final['blocks_hit']}")
+
+# --- analyze report ------------------------------------------------
+with open("ci/schemas/analyze_report.schema.json") as f:
+    report_schema = json.load(f)
+with open(report_path) as f:
+    report = json.load(f)
+check(report, report_schema["required"], "report")
+if report["type"] != "covmap_report":
+    sys.exit("report: type is not covmap_report")
+if report["version"] != report_schema["version"]:
+    sys.exit(f"report: version {report['version']} unsupported")
+check(report["heat"], report_schema["heat"], "report.heat")
+for i, subsystem in enumerate(report["subsystems"]):
+    check(subsystem, report_schema["subsystem"], f"subsystems[{i}]")
+for i, window in enumerate(report["timeline"]):
+    check(window, report_schema["window"], f"timeline[{i}]")
+if not report["targets"]:
+    sys.exit("report: empty cold-frontier target set")
+for i, target in enumerate(report["targets"]):
+    check(target, report_schema["target"], f"targets[{i}]")
+    if hits[target["block"]] != 0:
+        sys.exit(f"targets[{i}]: block {target['block']} was reached")
+bands = report["heat"]
+if (bands["unreached"] + bands["cold"] + bands["warm"] + bands["hot"]
+        != report["blocks_total"]):
+    sys.exit("report: heat bands do not partition the block set")
+print(f"covmap schemas: {len(windows)} windows, "
+      f"{len(report['targets'])} targets, "
+      f"{len(report['subsystems'])} subsystems validated")
+PY
+./build/examples/snowplow_cli fuzz --budget 3000 --seed 2 \
+    --directed-from "$cov_report" \
+    | grep -q '^directed: reached' || {
+        echo "fuzz --directed-from: missing directed summary"; exit 1; }
+echo "coverage cartography round trip: OK"
+
+# Stage 7: dataset store round-trip smoke — collect a store into
 # shards, merge/compact them, then train one epoch streamed from disk
 # and one epoch in-memory and require identical eval metrics (the
 # determinism-parity contract of data::StreamSource), plus a short
@@ -269,4 +440,4 @@ diff "$store_dir/eval_stream.txt" "$store_dir/eval_memory.txt" || {
     "$store_dir/harvest/harvest-000.spds" > /dev/null
 echo "dataset store round-trip + streaming parity: OK"
 
-echo "tier-1 + telemetry + perf + introspection smoke: OK"
+echo "tier-1 + telemetry + perf + introspection + cartography smoke: OK"

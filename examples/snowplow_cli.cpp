@@ -6,6 +6,8 @@
 //
 //   snowplow_cli fuzz [--budget N] [--seed N] [--workers N]
 //                     [--pmm CKPT] [--async W] [--harvest-dir DIR]
+//                     [--covmap-out FILE.jsonl]
+//                     [--directed-from REPORT.json]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
 //       the coverage timeline and crash summary. --workers N runs the
@@ -13,6 +15,13 @@
 //       bit-for-bit the classic single-threaded loop). With --async W
 //       the learned localizer queries an InferenceService worker pool
 //       of W threads instead of predicting inline (§3.4 deployment).
+//       --covmap-out streams per-checkpoint coverage-cartography
+//       snapshots (delta-encoded JSONL; input to `analyze`) and
+//       serves the live frontier summary on the status server's
+//       /coverage endpoint. --directed-from reads an `analyze`
+//       report's cold-frontier target set and runs the campaign
+//       directed at it (distance scheduler; Snowplow-D targeting
+//       when --pmm is given).
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT] [--data SHARD]... [--stream 0|1]
@@ -36,6 +45,15 @@
 //
 //   snowplow_cli directed --target BLOCK [--pmm CKPT] [--budget N]
 //       Directed campaign toward one block, baseline vs Snowplow-D.
+//
+//   snowplow_cli analyze LOG.jsonl [--out REPORT.json] [--targets N]
+//       Coverage cartography over a campaign's --covmap-out snapshot
+//       log: heat bands (hot/warm/cold/unreached), per-subsystem
+//       aggregation, and the ranked cold-frontier target set. Pass the
+//       campaign's --seed/--version/--evolution so the rebuilt kernel
+//       matches the log (subsystem attribution is skipped, with a
+//       warning, when the block counts disagree). --out writes the
+//       machine-readable report consumed by `fuzz --directed-from`.
 //
 //   snowplow_cli corpus [--count N] [--seed N]
 //       Generate a corpus and print it in the Syzlang-like syntax
@@ -73,6 +91,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/frontier.h"
+#include "analysis/report.h"
 #include "core/directed.h"
 #include "core/snowplow.h"
 #include "core/train.h"
@@ -81,6 +101,7 @@
 #include "data/store.h"
 #include "kernel/subsystems.h"
 #include "nn/serialize.h"
+#include "obs/covmap.h"
 #include "obs/statusd.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -219,6 +240,53 @@ cmdFuzz(const Args &args)
         std::max<uint64_t>(1, args.getU64("workers", 1)));
     campaign_opts.fuzz = opts;
 
+    // --covmap-out FILE.jsonl: per-block/edge hit profiling with one
+    // delta-encoded snapshot window per checkpoint, plus the live
+    // /coverage summary on the status server.
+    std::unique_ptr<obs::CovMap> covmap;
+    if (args.has("covmap-out")) {
+        covmap = std::make_unique<obs::CovMap>(
+            obs::CovMapPlan::build(kernel.blocks().size(),
+                                   kernel.staticEdges()),
+            campaign_opts.workers);
+        const std::string path = args.get("covmap-out", "");
+        std::string extra = "\"kernel\":{\"seed\":";
+        extra += std::to_string(args.getU64("seed", 2024));
+        extra += ",\"version\":\"" + kernel.version();
+        extra += "\",\"evolution\":";
+        extra += std::to_string(args.getU64("evolution", 0));
+        extra += "}";
+        if (!covmap->openLog(path, extra))
+            SP_FATAL("cannot open --covmap-out %s", path.c_str());
+        campaign_opts.fuzz.covmap = covmap.get();
+        obs::setCoverageProvider(
+            [cm = covmap.get()] { return cm->summaryJson(); });
+    }
+
+    // --directed-from REPORT.json: steer the campaign toward the
+    // report's cold-frontier targets (closing the cartography loop).
+    std::vector<uint32_t> directed_targets;
+    if (args.has("directed-from")) {
+        const std::string report_path = args.get("directed-from", "");
+        std::string err;
+        auto loaded = analysis::loadTargets(report_path, &err);
+        if (!err.empty())
+            SP_FATAL("--directed-from: %s", err.c_str());
+        for (const uint32_t block : loaded) {
+            if (block < kernel.blocks().size())
+                directed_targets.push_back(block);
+        }
+        if (directed_targets.empty()) {
+            SP_FATAL("--directed-from %s has no targets for this "
+                     "kernel (did the seeds match?)",
+                     report_path.c_str());
+        }
+        campaign_opts.fuzz.scheduler =
+            core::makeDistanceScheduler(kernel, directed_targets);
+        std::printf("directed at %zu cold-frontier targets from %s\n",
+                    directed_targets.size(), report_path.c_str());
+    }
+
     // --harvest-dir DIR: convert the campaign's successful mutations
     // into training examples, appended to an open shard as we fuzz.
     std::unique_ptr<data::Harvester> harvester;
@@ -252,18 +320,44 @@ cmdFuzz(const Args &args)
     // outstanding futures on destruction, so the service must die last.
     std::unique_ptr<core::InferenceService> service;
     std::unique_ptr<fuzz::CampaignEngine> engine;
+    core::SnowplowOptions snowplow_opts;
+    snowplow_opts.directed_targets = directed_targets;
     if (async_workers > 0) {
         service = std::make_unique<core::InferenceService>(
             model, async_workers);
-        engine = core::makeAsyncSnowplowCampaign(kernel, *service,
-                                                 campaign_opts);
+        engine = core::makeAsyncSnowplowCampaign(
+            kernel, *service, campaign_opts, snowplow_opts);
     } else if (snowplow) {
         engine = core::makeSnowplowCampaign(kernel, model,
-                                            campaign_opts);
+                                            campaign_opts,
+                                            snowplow_opts);
     } else {
         engine = core::makeSyzkallerCampaign(kernel, campaign_opts);
     }
     auto report = engine->run();
+    if (covmap != nullptr) {
+        covmap->finalize(report.execs);
+        // The covmap dies with this frame but /coverage may be scraped
+        // through --status-hold: freeze the final summary into the
+        // provider (mirrors the campaign's status ProviderGuard).
+        obs::setCoverageProvider(
+            [frozen = covmap->summaryJson()] { return frozen; });
+        const auto summary = covmap->summary();
+        std::printf("covmap: %zu blocks, %zu edges, %zu frontier "
+                    "targets, %llu windows -> %s\n",
+                    summary.blocks_hit, summary.edges_hit,
+                    summary.frontier_size,
+                    static_cast<unsigned long long>(summary.windows),
+                    args.get("covmap-out", "").c_str());
+    }
+    if (!directed_targets.empty()) {
+        const auto &coverage = engine->corpus().totalCoverage();
+        size_t reached = 0;
+        for (const uint32_t block : directed_targets)
+            reached += coverage.containsBlock(block);
+        std::printf("directed: reached %zu/%zu targets\n", reached,
+                    directed_targets.size());
+    }
     for (const auto &cp : report.timeline) {
         std::printf("  execs %8llu  edges %6zu  blocks %6zu  "
                     "crashes %3zu\n",
@@ -470,6 +564,56 @@ cmdDirected(const Args &args)
 }
 
 int
+cmdAnalyze(const Args &args)
+{
+    const std::string log = args.get("log", args.positional(0));
+    if (log.empty()) {
+        std::fprintf(stderr,
+                     "usage: snowplow_cli analyze LOG.jsonl "
+                     "[--out REPORT.json] [--targets N] "
+                     "[--seed N] [--version V] [--evolution E]\n");
+        return 2;
+    }
+    auto profile = analysis::CovProfile::load(log);
+    if (!profile.ok())
+        SP_FATAL("analyze: %s", profile.error.c_str());
+
+    // Rebuild the campaign's kernel for subsystem attribution; a
+    // mismatched rebuild (wrong --seed etc.) is detectable by block
+    // count, and attribution is skipped rather than fabricated.
+    auto kernel = makeKernel(args);
+    const kern::Kernel *attribution = &kernel;
+    if (kernel.blocks().size() != profile.num_blocks) {
+        std::fprintf(stderr,
+                     "warning: rebuilt kernel has %zu blocks but the "
+                     "log has %zu — pass the campaign's --seed/"
+                     "--version/--evolution; skipping subsystem "
+                     "attribution\n",
+                     kernel.blocks().size(), profile.num_blocks);
+        attribution = nullptr;
+    }
+
+    const size_t cap = args.getU64("targets", 32);
+    const auto analysis_result =
+        analysis::analyze(std::move(profile), attribution, cap);
+    std::fputs(analysis::reportText(analysis_result, log).c_str(),
+               stdout);
+
+    const std::string out = args.get("out", "");
+    if (!out.empty()) {
+        std::FILE *f = std::fopen(out.c_str(), "w");
+        if (f == nullptr)
+            SP_FATAL("cannot write %s", out.c_str());
+        const std::string json =
+            analysis::reportJson(analysis_result, log) + "\n";
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("report written to %s\n", out.c_str());
+    }
+    return 0;
+}
+
+int
 cmdCorpus(const Args &args)
 {
     auto kernel = makeKernel(args);
@@ -502,6 +646,8 @@ dispatch(const std::string &command, const Args &args)
         return cmdDataset(args);
     if (command == "directed")
         return cmdDirected(args);
+    if (command == "analyze")
+        return cmdAnalyze(args);
     if (command == "corpus")
         return cmdCorpus(args);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
@@ -514,7 +660,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: snowplow_cli "
-                     "<kernel-stats|fuzz|train|dataset|directed|corpus> "
+                     "<kernel-stats|fuzz|train|dataset|directed|"
+                     "analyze|corpus> "
                      "[--flag value]... [--metrics-out FILE.jsonl]\n"
                      "       [--trace-out FILE.json] [--trace-sample "
                      "1/64] [--status-port P] [--status-hold 1]\n"

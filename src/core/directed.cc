@@ -10,18 +10,32 @@ namespace sp::core {
 std::vector<uint32_t>
 distanceToBlock(const kern::Kernel &kernel, uint32_t target)
 {
+    return distanceToBlocks(kernel, {target});
+}
+
+std::vector<uint32_t>
+distanceToBlocks(const kern::Kernel &kernel,
+                 const std::vector<uint32_t> &targets)
+{
     constexpr uint32_t kUnreachable = ~0u;
     std::vector<uint32_t> dist(kernel.blocks().size(), kUnreachable);
-    SP_ASSERT(target < kernel.blocks().size());
+    SP_ASSERT(!targets.empty());
 
     // Predecessor lists from the static CFG.
     std::vector<std::vector<uint32_t>> preds(kernel.blocks().size());
     for (auto [from, to] : kernel.staticEdges())
         preds[to].push_back(from);
 
+    // Multi-source BFS: every target seeds the queue at distance 0,
+    // so dist[b] is the distance to the nearest target.
     std::deque<uint32_t> queue;
-    dist[target] = 0;
-    queue.push_back(target);
+    for (const uint32_t target : targets) {
+        SP_ASSERT(target < kernel.blocks().size());
+        if (dist[target] != 0) {
+            dist[target] = 0;
+            queue.push_back(target);
+        }
+    }
     while (!queue.empty()) {
         const uint32_t block = queue.front();
         queue.pop_front();
@@ -114,6 +128,14 @@ makeDistanceScheduler(const kern::Kernel &kernel, uint32_t target)
         distanceToBlock(kernel, target));
 }
 
+std::shared_ptr<fuzz::Scheduler>
+makeDistanceScheduler(const kern::Kernel &kernel,
+                      const std::vector<uint32_t> &targets)
+{
+    return std::make_shared<DistanceScheduler>(
+        distanceToBlocks(kernel, targets));
+}
+
 DirectedResult
 runSyzDirect(const kern::Kernel &kernel, const DirectedOptions &opts)
 {
@@ -130,6 +152,43 @@ runSnowplowD(const kern::Kernel &kernel, const Pmm &model,
     auto localizer = std::make_unique<PmmLocalizer>(kernel, model,
                                                     std::move(snowplow_opts));
     return runDirected(kernel, opts, std::move(localizer));
+}
+
+MultiDirectedResult
+runSnowplowD(const kern::Kernel &kernel, const Pmm &model,
+             const std::vector<uint32_t> &targets,
+             const DirectedOptions &opts)
+{
+    SP_ASSERT(!targets.empty());
+    SnowplowOptions snowplow_opts;
+    snowplow_opts.directed_targets = targets;
+    auto localizer = std::make_unique<PmmLocalizer>(
+        kernel, model, std::move(snowplow_opts));
+
+    fuzz::FuzzOptions fuzz_opts = opts.fuzz;
+    fuzz_opts.exec_budget = opts.exec_budget;
+    fuzz_opts.seed = opts.seed;
+    fuzz_opts.scheduler = makeDistanceScheduler(kernel, targets);
+
+    fuzz::Fuzzer fuzzer(kernel, std::move(fuzz_opts),
+                        std::move(localizer));
+    auto report = fuzzer.runUntil([&targets](const fuzz::Fuzzer &f) {
+        const auto &coverage = f.corpus().totalCoverage();
+        for (const uint32_t target : targets) {
+            if (!coverage.containsBlock(target))
+                return false;
+        }
+        return true;
+    });
+
+    MultiDirectedResult result;
+    result.execs_total = report.execs;
+    const auto &coverage = fuzzer.corpus().totalCoverage();
+    for (const uint32_t target : targets) {
+        if (coverage.containsBlock(target))
+            result.reached.push_back(target);
+    }
+    return result;
 }
 
 }  // namespace sp::core

@@ -40,12 +40,29 @@ struct DirectedResult
     uint64_t execs_total = 0;
 };
 
+/** Outcome of a multi-target directed run (cold-frontier target sets
+ *  derived by `snowplow_cli analyze`). */
+struct MultiDirectedResult
+{
+    std::vector<uint32_t> reached;  ///< targets covered when stopped
+    uint64_t execs_total = 0;
+};
+
 /**
  * Distance (in CFG edges) from every block to `target`; kNoBlock-like
  * ~0u marks blocks that cannot reach it.
  */
 std::vector<uint32_t> distanceToBlock(const kern::Kernel &kernel,
                                       uint32_t target);
+
+/**
+ * Multi-source variant: distance from every block to the *nearest* of
+ * `targets` (the reverse BFS starts from all of them at distance 0).
+ * This is how a ranked cold-frontier set steers one campaign toward
+ * many targets at once.
+ */
+std::vector<uint32_t> distanceToBlocks(
+    const kern::Kernel &kernel, const std::vector<uint32_t> &targets);
 
 /**
  * Distance-guided base scheduler: corpus entries whose coverage sits
@@ -57,6 +74,11 @@ std::vector<uint32_t> distanceToBlock(const kern::Kernel &kernel,
 std::shared_ptr<fuzz::Scheduler>
 makeDistanceScheduler(const kern::Kernel &kernel, uint32_t target);
 
+/** Multi-target distance scheduler (nearest-target distances). */
+std::shared_ptr<fuzz::Scheduler>
+makeDistanceScheduler(const kern::Kernel &kernel,
+                      const std::vector<uint32_t> &targets);
+
 /** Run the SyzDirect baseline toward one target. */
 DirectedResult runSyzDirect(const kern::Kernel &kernel,
                             const DirectedOptions &opts);
@@ -64,6 +86,18 @@ DirectedResult runSyzDirect(const kern::Kernel &kernel,
 /** Run Snowplow-D (SyzDirect + PMM localization) toward one target. */
 DirectedResult runSnowplowD(const kern::Kernel &kernel, const Pmm &model,
                             const DirectedOptions &opts);
+
+/**
+ * Run Snowplow-D toward a whole target set (opts.target_block is
+ * ignored): the scheduler steers by nearest-target distance, the PMM
+ * query marks every frontier target, and the run stops once all
+ * targets are covered or the budget ends. Returns which targets were
+ * reached.
+ */
+MultiDirectedResult runSnowplowD(const kern::Kernel &kernel,
+                                 const Pmm &model,
+                                 const std::vector<uint32_t> &targets,
+                                 const DirectedOptions &opts);
 
 }  // namespace sp::core
 

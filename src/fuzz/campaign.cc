@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/covmap.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -137,6 +138,13 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
              {"corpus_size", shared.corpus->size()}});
     }
     shared.last_checkpoint_edges = cp.edges;
+    // Covmap merge point: still before the checkpoints_done publish,
+    // so consecutive boundary owners never merge concurrently. Shards
+    // of workers running slots past this boundary may already hold a
+    // few of their hits — window boundaries are approximate under
+    // concurrency, the cumulative map is exact.
+    if (shared.opts->covmap != nullptr)
+        shared.opts->covmap->onCheckpoint(slot);
     {
         std::lock_guard<std::mutex> lock(shared.checkpoint_mu);
         shared.checkpoints_done.store(target + 1,
@@ -170,6 +178,10 @@ executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
 
     boardStage(env, obs::WorkerStage::Execute, slot);
     auto result = env.executor->run(program);
+    if (env.cov_shard != nullptr) {
+        for (const auto &call : result.calls)
+            env.cov_shard->recordTrace(call.blocks);
+    }
     ++env.local_execs;
     if (env.execs_out != nullptr)
         *env.execs_out = slot;
@@ -511,6 +523,13 @@ CampaignEngine::run()
     auto &reg = obs::Registry::global();
     reg.unregisterGaugesWithPrefix("fuzz.worker_busy_ratio.w");
     reg.resetGaugesWithPrefix("snowplow.cache_hit_ratio");
+    // Counters scoped the same way: covmap windows/stray tallies and
+    // the prediction-cache hit/miss counts describe one campaign, not
+    // the process, and their hot paths cache handles (reset keeps
+    // those valid where unregister would not).
+    reg.resetCountersWithPrefix("covmap.");
+    reg.resetGaugesWithPrefix("covmap.");
+    reg.resetCountersWithPrefix("snowplow.cache.");
 
     detail::CampaignShared shared;
     shared.opts = &opts_.fuzz;
@@ -580,6 +599,10 @@ CampaignEngine::run()
         env.mutator = &mutator_;
         env.localizer = localizers_[w].get();
         env.scheduler = scheduler_.get();
+        if (opts_.fuzz.covmap != nullptr) {
+            env.cov_shard = &opts_.fuzz.covmap->shard(
+                w % opts_.fuzz.covmap->shardCount());
+        }
     }
 
     // Seed stage: worker 0, on the calling thread, before any worker

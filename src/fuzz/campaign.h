@@ -40,6 +40,10 @@
 #include "fuzz/fuzzer.h"
 #include "fuzz/sched.h"
 
+namespace sp::obs {
+class CovShard;
+}
+
 namespace sp::fuzz {
 
 /**
@@ -139,6 +143,9 @@ struct WorkerEnv
     const mut::Mutator *mutator = nullptr;
     mut::Localizer *localizer = nullptr;
     Scheduler *scheduler = nullptr;
+    /** This worker's covmap shard (null = profiling off). Only this
+     *  worker writes it; the checkpoint owner reads it at merges. */
+    obs::CovShard *cov_shard = nullptr;
     /** Mirror of the execution counter (legacy Fuzzer::execs_). */
     uint64_t *execs_out = nullptr;
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "fuzz/campaign.h"
+#include "obs/covmap.h"
 #include "util/logging.h"
 
 namespace sp::fuzz {
@@ -53,6 +54,8 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
     env.mutator = &mutator_;
     env.localizer = localizer_.get();
     env.scheduler = scheduler_.get();
+    if (opts_.covmap != nullptr)
+        env.cov_shard = &opts_.covmap->shard(0);
     env.execs_out = &execs_;
 
     if (corpus_.empty())

@@ -30,6 +30,10 @@
 #include "fuzz/sched.h"
 #include "mutate/mutator.h"
 
+namespace sp::obs {
+class CovMap;
+}
+
 namespace sp::fuzz {
 
 /** Fuzzing-loop configuration. */
@@ -59,6 +63,14 @@ struct FuzzOptions
      * `scheduler` is unset. Prefer `scheduler` for new code.
      */
     std::function<const CorpusEntry &(const Corpus &, Rng &)> choose_test;
+    /**
+     * Optional coverage-cartography accumulator (obs/covmap.h, not
+     * owned; must outlive the run). Workers record per-call block
+     * traces into their shard after every execution and the in-order
+     * checkpoint owner merges + emits one snapshot window per grid
+     * boundary. Null = hit-count profiling off (zero overhead).
+     */
+    obs::CovMap *covmap = nullptr;
 };
 
 /** Which mutation lane produced a program (telemetry attribution). */

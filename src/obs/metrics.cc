@@ -250,6 +250,21 @@ Registry::resetGaugesWithPrefix(const std::string &prefix)
     return reset;
 }
 
+size_t
+Registry::resetCountersWithPrefix(const std::string &prefix)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    size_t reset = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        it->second->reset();
+        ++reset;
+    }
+    return reset;
+}
+
 std::string
 workerMetric(const std::string &base, size_t worker)
 {

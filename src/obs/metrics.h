@@ -186,6 +186,15 @@ class Registry
      */
     size_t resetGaugesWithPrefix(const std::string &prefix);
 
+    /**
+     * Zero every counter whose name starts with `prefix` (cached
+     * handles stay valid), returning how many were reset. Campaign
+     * scoping for counters hot paths hold handles to (`covmap.*`,
+     * `snowplow.cache.*`), which would otherwise accumulate across
+     * back-to-back campaigns in one process.
+     */
+    size_t resetCountersWithPrefix(const std::string &prefix);
+
   private:
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

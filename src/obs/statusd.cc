@@ -203,6 +203,9 @@ StatusServer::serveLoop()
         } else if (path == "/status") {
             response = httpResponse("200 OK", "application/json",
                                     statusJson() + "\n");
+        } else if (path == "/coverage") {
+            response = httpResponse("200 OK", "application/json",
+                                    coverageJson() + "\n");
         } else if (path == "/healthz") {
             response = httpResponse("200 OK", "text/plain", "ok\n");
         } else if (path.empty()) {
@@ -211,7 +214,7 @@ StatusServer::serveLoop()
         } else {
             response = httpResponse(
                 "404 Not Found", "text/plain",
-                "not found; try /metrics /status /healthz\n");
+                "not found; try /metrics /status /coverage /healthz\n");
         }
         // Counted before the reply: a client that saw its response
         // complete must observe the incremented count.

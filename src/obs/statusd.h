@@ -9,6 +9,10 @@
  *   GET /status   — obs::statusJson(): per-worker current stage and
  *                   slot age from the status board plus the campaign
  *                   provider's corpus/ledger/crash snapshot;
+ *   GET /coverage — obs::coverageJson(): the live coverage-cartography
+ *                   summary (blocks/edges hit, top frontier targets)
+ *                   from the registered coverage provider, or
+ *                   {"enabled":false} when no campaign records one;
  *   GET /healthz  — "ok" (liveness probe).
  *
  * The server binds 127.0.0.1 only — it is an operator window into a

@@ -192,6 +192,8 @@ std::atomic<bool> g_auto_dumped{false};
 
 std::mutex g_status_provider_mu;
 std::function<std::string()> g_status_provider;
+std::mutex g_coverage_provider_mu;
+std::function<std::string()> g_coverage_provider;
 
 void
 collectForExport(const Span &span)
@@ -707,6 +709,25 @@ statusJson()
     }
     out += "}";
     return out;
+}
+
+void
+setCoverageProvider(std::function<std::string()> provider)
+{
+    std::lock_guard<std::mutex> lock(g_coverage_provider_mu);
+    g_coverage_provider = std::move(provider);
+}
+
+std::string
+coverageJson()
+{
+    // Same invoke-under-registration-mutex contract as the status
+    // provider: once setCoverageProvider() returns, no thread is still
+    // running the previous provider.
+    std::lock_guard<std::mutex> lock(g_coverage_provider_mu);
+    const std::string payload =
+        g_coverage_provider ? g_coverage_provider() : "";
+    return payload.empty() ? "{\"enabled\":false}" : payload;
 }
 
 namespace {

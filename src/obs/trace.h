@@ -280,6 +280,22 @@ void setStatusProvider(std::function<std::string()> provider);
  */
 std::string statusJson();
 
+/**
+ * Register the callable behind the status server's /coverage endpoint
+ * (normally CovMap::summaryJson of the live campaign, or a frozen
+ * summary once the campaign finished). Same concurrency contract as
+ * setStatusProvider(): the provider runs under the registration mutex,
+ * so once setCoverageProvider() returns no in-flight invocation of the
+ * previous provider remains. Pass nullptr to clear.
+ */
+void setCoverageProvider(std::function<std::string()> provider);
+
+/**
+ * The /coverage payload: the registered provider's JSON, or
+ * {"enabled":false} when none is registered.
+ */
+std::string coverageJson();
+
 /** @} */
 
 /**

@@ -371,6 +371,28 @@ TEST(Registry, ResetGaugesWithPrefixZeroesInPlace)
     EXPECT_EQ(reg.resetGaugesWithPrefix("nope."), 0u);
 }
 
+TEST(Registry, ResetCountersWithPrefixZeroesInPlace)
+{
+    Registry reg;
+    Counter &windows = reg.counter("covmap.windows");
+    windows.inc(12);
+    reg.counter("covmap.stray_edges").inc(3);
+    reg.counter("other.events").inc(5);
+    EXPECT_EQ(reg.resetCountersWithPrefix("covmap."), 2u);
+
+    // Reset-in-place: handles taken before the reset stay live, which
+    // lets the campaign engine scrub covmap.* / snowplow.cache.*
+    // between runs without invalidating cached metric pointers.
+    EXPECT_EQ(windows.value(), 0u);
+    windows.inc(1);
+    EXPECT_EQ(reg.counter("covmap.windows").value(), 1u);
+    EXPECT_EQ(reg.counter("covmap.stray_edges").value(), 0u);
+    EXPECT_EQ(reg.counter("other.events").value(), 5u);
+    EXPECT_EQ(reg.resetCountersWithPrefix("nope."), 0u);
+    // The prefix scan must not spill past the matching range.
+    EXPECT_EQ(reg.resetCountersWithPrefix("covmap.z"), 0u);
+}
+
 TEST(Prometheus, RendersCountersGaugesAndSummaries)
 {
     auto &reg = Registry::global();

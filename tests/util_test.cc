@@ -7,6 +7,7 @@
 #include <set>
 
 #include "util/hash.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -343,6 +344,86 @@ TEST(FormatTable, AlignsColumns)
         EXPECT_EQ(nl - pos, width);
         pos = nl + 1;
     }
+}
+
+TEST(Json, ParsesScalarsWithExactIntegers)
+{
+    EXPECT_TRUE(json::parse("null").value.isNull());
+    EXPECT_TRUE(json::parse("true").value.boolean());
+    EXPECT_FALSE(json::parse("false").value.boolean(true));
+
+    // Hit counts are uint64 and must survive without rounding through
+    // the double payload.
+    auto big = json::parse("18446744073709551615");
+    ASSERT_TRUE(big.ok()) << big.error;
+    EXPECT_EQ(big.value.asUint(), UINT64_MAX);
+    auto neg = json::parse("-9223372036854775808");
+    ASSERT_TRUE(neg.ok()) << neg.error;
+    EXPECT_EQ(neg.value.asInt(), INT64_MIN);
+    auto frac = json::parse("2.5e2");
+    ASSERT_TRUE(frac.ok());
+    EXPECT_DOUBLE_EQ(frac.value.number(), 250.0);
+    EXPECT_EQ(frac.value.asInt(), 250);
+}
+
+TEST(Json, ParsesStringsWithEscapes)
+{
+    auto plain = json::parse("\"covmap_window\"");
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.value.str(), "covmap_window");
+
+    auto escaped = json::parse(R"("a\"b\\c\n\tA")");
+    ASSERT_TRUE(escaped.ok()) << escaped.error;
+    EXPECT_EQ(escaped.value.str(), "a\"b\\c\n\tA");
+
+    // Surrogate pair -> 4-byte UTF-8.
+    auto emoji = json::parse(R"("😀")");
+    ASSERT_TRUE(emoji.ok()) << emoji.error;
+    EXPECT_EQ(emoji.value.str(), "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParsesArraysAndObjectsPreservingOrder)
+{
+    auto parsed = json::parse(
+        R"({"type":"covmap_window","deltas":[[3,2],[7,1]],"n":0})");
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    const json::Value &obj = parsed.value;
+    ASSERT_TRUE(obj.isObject());
+    ASSERT_EQ(obj.members().size(), 3u);
+    // Emission order is preserved, not sorted.
+    EXPECT_EQ(obj.members()[0].first, "type");
+    EXPECT_EQ(obj.members()[1].first, "deltas");
+    EXPECT_EQ(obj.find("type")->str(), "covmap_window");
+
+    const json::Value *deltas = obj.find("deltas");
+    ASSERT_NE(deltas, nullptr);
+    ASSERT_EQ(deltas->array().size(), 2u);
+    EXPECT_EQ(deltas->at(0)->at(0)->asUint(), 3u);
+    EXPECT_EQ(deltas->at(0)->at(1)->asUint(), 2u);
+    EXPECT_EQ(deltas->at(1)->at(0)->asUint(), 7u);
+    EXPECT_EQ(deltas->at(2), nullptr);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_FALSE(json::parse("").ok());
+    EXPECT_FALSE(json::parse("{").ok());
+    EXPECT_FALSE(json::parse("[1,]").ok());
+    EXPECT_FALSE(json::parse("{\"a\":}").ok());
+    EXPECT_FALSE(json::parse("\"unterminated").ok());
+    EXPECT_FALSE(json::parse("nul").ok());
+    EXPECT_FALSE(json::parse("1 2").ok());  // trailing garbage
+    EXPECT_FALSE(json::parse("-").ok());
+
+    // Depth bomb stops at the recursion cap instead of overflowing.
+    std::string deep(4096, '[');
+    EXPECT_FALSE(json::parse(deep).ok());
+
+    auto err = json::parse("[1, x]");
+    EXPECT_FALSE(err.ok());
+    EXPECT_FALSE(err.error.empty());
+    EXPECT_GT(err.offset, 0u);
 }
 
 }  // namespace
