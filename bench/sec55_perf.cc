@@ -202,6 +202,44 @@ BM_ExecutorRawThroughput(benchmark::State &state)
 }
 BENCHMARK(BM_ExecutorRawThroughput);
 
+// The exec hot path, ref vs fast backend (arg 0: 0 = reference
+// interpreter, 1 = dirty-restore/dense-coverage fast backend), at 1
+// and N threads. Noisy mode — the fuzzing configuration — so the
+// measured win is the one campaigns see. Reported as programs/sec
+// (items_per_second) plus a calls_per_sec counter; the CI gate holds
+// fast:1/threads:1 at ≥3× ref:1/threads:1 programs/sec (ISSUE
+// acceptance; see ci/run_tier1.sh).
+void
+BM_ExecThroughput(benchmark::State &state)
+{
+    const auto &kernel = fixtures().kernel;
+    Rng rng(11);
+    auto corpus = prog::generateCorpus(rng, kernel.table(), 64);
+    exec::ExecOptions opts;
+    opts.deterministic = false;
+    opts.noise_seed = 23 + static_cast<uint64_t>(state.thread_index());
+    opts.backend = state.range(0) != 0 ? exec::BackendKind::Fast
+                                       : exec::BackendKind::Reference;
+    exec::Executor executor(kernel, opts);  // per-thread, as in a pool
+    size_t i = 0;
+    uint64_t calls = 0;
+    for (auto _ : state) {
+        auto result = executor.run(corpus[i++ % corpus.size()]);
+        calls += result.calls.size();
+        benchmark::DoNotOptimize(result.coverage.edgeCount());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+    state.counters["calls_per_sec"] = benchmark::Counter(
+        static_cast<double>(calls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecThroughput)
+    ->ArgNames({"fast"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime();
+
 // Tracer hot-path discipline. BM_TraceSpanDisabled is the cost of one
 // instrumentation site with no tracer installed — a relaxed flag load
 // and nothing else (no clock read, no ring write). BM_TraceOverhead

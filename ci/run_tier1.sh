@@ -90,9 +90,9 @@ validate_jsonl "$snowplow" \
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
-    obs_test trace_test data_test covmap_test
+    obs_test trace_test data_test covmap_test exec_backend_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test)$'
+    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -102,7 +102,7 @@ ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
 # instrumentation site must cost so little that a full slot's worth of
 # span sites stays under 1% of the slot itself.
 ./build/bench/sec55_perf \
-    --benchmark_filter='BM_RawMatmul|BM_PmmInferenceLatency|BM_InferenceServiceThroughput/workers:1|BM_TraceSpanDisabled|BM_TraceOverhead' \
+    --benchmark_filter='BM_RawMatmul|BM_PmmInferenceLatency|BM_InferenceServiceThroughput/workers:1|BM_TraceSpanDisabled|BM_TraceOverhead|BM_ExecThroughput' \
     --benchmark_min_time=0.01 \
     --benchmark_out=BENCH_sec55.json --benchmark_out_format=json \
     > /dev/null
@@ -114,7 +114,7 @@ with open("BENCH_sec55.json") as f:
 names = [b["name"] for b in report["benchmarks"]]
 for needle in ("BM_RawMatmul", "BM_PmmInferenceLatency",
                "BM_InferenceServiceThroughput", "BM_TraceSpanDisabled",
-               "BM_TraceOverhead"):
+               "BM_TraceOverhead", "BM_ExecThroughput"):
     if not any(needle in n for n in names):
         raise SystemExit(f"BENCH_sec55.json: missing {needle} results")
 
@@ -134,6 +134,22 @@ print(f"BENCH_sec55.json: {len(names)} benchmark results; "
       f"-> {100.0 * overhead:.3f}% per slot")
 if overhead >= 0.01:
     raise SystemExit("tracing-disabled overhead exceeds 1% of a slot")
+
+# Exec-backend gate: the fast backend (dirty-state restore + dense
+# coverage, the campaign default) must hold >=3x the reference
+# interpreter's single-thread program throughput (ISSUE acceptance).
+def progs_per_sec(needle):
+    bench = next(b for b in report["benchmarks"] if needle in b["name"])
+    return bench["items_per_second"]
+
+ref = progs_per_sec("BM_ExecThroughput/fast:0/real_time/threads:1")
+fast = progs_per_sec("BM_ExecThroughput/fast:1/real_time/threads:1")
+speedup = fast / ref
+print(f"BENCH_sec55.json: exec backend ref {ref / 1e3:.0f}k "
+      f"fast {fast / 1e3:.0f}k programs/sec -> {speedup:.2f}x")
+if speedup < 3.0:
+    raise SystemExit(
+        f"fast exec backend speedup {speedup:.2f}x below the 3x gate")
 PY
 
 # Coverage-cartography perf gate: hit recording must cost under 2% of

@@ -8,6 +8,7 @@
 //                     [--pmm CKPT] [--async W] [--harvest-dir DIR]
 //                     [--covmap-out FILE.jsonl]
 //                     [--directed-from REPORT.json]
+//                     [--exec-backend ref|fast]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
 //       the coverage timeline and crash summary. --workers N runs the
@@ -21,7 +22,10 @@
 //       /coverage endpoint. --directed-from reads an `analyze`
 //       report's cold-frontier target set and runs the campaign
 //       directed at it (distance scheduler; Snowplow-D targeting
-//       when --pmm is given).
+//       when --pmm is given). --exec-backend picks the executor
+//       implementation: `fast` (default; dirty-state restore + dense
+//       coverage) or `ref` (the reference interpreter) — the two are
+//       bit-identical, so `ref` is for differential/A-B runs.
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT] [--data SHARD]... [--stream 0|1]
@@ -234,6 +238,16 @@ cmdFuzz(const Args &args)
     opts.exec_budget = args.getU64("budget", 30000);
     opts.seed = args.getU64("seed", 1);
     opts.checkpoint_every = std::max<uint64_t>(1, opts.exec_budget / 12);
+
+    // --exec-backend ref|fast: executor implementation for every
+    // worker (and the localizer probe). Bit-identical; `ref` exists
+    // for differential runs and A/B throughput measurements.
+    if (args.has("exec-backend")) {
+        const std::string name = args.get("exec-backend", "fast");
+        if (!exec::parseBackendKind(name, &opts.exec_backend))
+            SP_FATAL("--exec-backend %s: expected 'ref' or 'fast'",
+                     name.c_str());
+    }
 
     fuzz::CampaignOptions campaign_opts;
     campaign_opts.workers = static_cast<size_t>(

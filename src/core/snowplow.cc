@@ -152,7 +152,8 @@ PmmLocalizer::PmmLocalizer(const kern::Kernel &kernel, const Pmm &model,
                            SnowplowOptions opts,
                            std::shared_ptr<PredictionCache> cache)
     : kernel_(kernel), model_(model), opts_(std::move(opts)),
-      probe_(kernel),  // deterministic probe executor
+      // Deterministic probe executor on the fuzz loop's exec backend.
+      probe_(kernel, exec::ExecOptions{true, 0, opts_.exec_backend}),
       cache_(cache ? std::move(cache)
                    : std::make_shared<PredictionCache>(
                          opts_.cache_capacity))
@@ -214,7 +215,7 @@ AsyncPmmLocalizer::AsyncPmmLocalizer(const kern::Kernel &kernel,
                                      SnowplowOptions opts,
                                      std::shared_ptr<PredictionCache> cache)
     : kernel_(kernel), service_(service), opts_(std::move(opts)),
-      probe_(kernel),
+      probe_(kernel, exec::ExecOptions{true, 0, opts_.exec_backend}),
       ready_(cache ? std::move(cache)
                    : std::make_shared<PredictionCache>(
                          opts_.cache_capacity))
@@ -313,6 +314,7 @@ makeSnowplowFuzzer(const kern::Kernel &kernel, const Pmm &model,
                    fuzz::FuzzOptions fuzz_opts,
                    SnowplowOptions snowplow_opts)
 {
+    snowplow_opts.exec_backend = fuzz_opts.exec_backend;
     auto localizer = std::make_unique<PmmLocalizer>(
         kernel, model, std::move(snowplow_opts));
     return std::make_unique<fuzz::Fuzzer>(kernel, std::move(fuzz_opts),
@@ -325,6 +327,7 @@ makeAsyncSnowplowFuzzer(const kern::Kernel &kernel,
                         fuzz::FuzzOptions fuzz_opts,
                         SnowplowOptions snowplow_opts)
 {
+    snowplow_opts.exec_backend = fuzz_opts.exec_backend;
     auto localizer = std::make_unique<AsyncPmmLocalizer>(
         kernel, service, std::move(snowplow_opts));
     return std::make_unique<fuzz::Fuzzer>(kernel, std::move(fuzz_opts),
@@ -345,6 +348,7 @@ makeSnowplowCampaign(const kern::Kernel &kernel, const Pmm &model,
                      fuzz::CampaignOptions campaign_opts,
                      SnowplowOptions snowplow_opts)
 {
+    snowplow_opts.exec_backend = campaign_opts.fuzz.exec_backend;
     auto cache = std::make_shared<PredictionCache>(
         snowplow_opts.cache_capacity);
     auto factory = [&kernel, &model, snowplow_opts,
@@ -362,6 +366,7 @@ makeAsyncSnowplowCampaign(const kern::Kernel &kernel,
                           fuzz::CampaignOptions campaign_opts,
                           SnowplowOptions snowplow_opts)
 {
+    snowplow_opts.exec_backend = campaign_opts.fuzz.exec_backend;
     auto cache = std::make_shared<PredictionCache>(
         snowplow_opts.cache_capacity);
     auto factory = [&kernel, &service, snowplow_opts,

@@ -45,6 +45,13 @@ struct SnowplowOptions
      * the query; otherwise the whole frontier is the desired coverage.
      */
     std::vector<uint32_t> directed_targets;
+    /**
+     * Backend of the localizer's deterministic probe executor (cold
+     * bases re-executed for coverage). Campaign factories thread the
+     * fuzz loop's choice through so `--exec-backend` governs probe
+     * runs too.
+     */
+    exec::BackendKind exec_backend = exec::BackendKind::Fast;
 };
 
 /**

@@ -1,0 +1,12 @@
+#include "exec/arena.h"
+
+namespace sp::exec {
+
+ExecArena &
+ExecArena::local()
+{
+    thread_local ExecArena arena;
+    return arena;
+}
+
+}  // namespace sp::exec

@@ -1,10 +1,29 @@
 #include "exec/coverage.h"
 
+#include <algorithm>
+
 namespace sp::exec {
+
+void
+CoverageSet::promote() const
+{
+    if (!staged_)
+        return;
+    staged_ = false;
+    blocks_.reserve(blocks_.size() + staged_blocks_.size());
+    edges_.reserve(edges_.size() + staged_edges_.size());
+    blocks_.insert(staged_blocks_.begin(), staged_blocks_.end());
+    edges_.insert(staged_edges_.begin(), staged_edges_.end());
+    staged_blocks_.clear();
+    staged_blocks_.shrink_to_fit();
+    staged_edges_.clear();
+    staged_edges_.shrink_to_fit();
+}
 
 void
 CoverageSet::addTrace(const std::vector<uint32_t> &trace)
 {
+    promote();
     for (size_t i = 0; i < trace.size(); ++i) {
         blocks_.insert(trace[i]);
         if (i + 1 < trace.size())
@@ -13,38 +32,139 @@ CoverageSet::addTrace(const std::vector<uint32_t> &trace)
 }
 
 void
+CoverageSet::addUnique(const std::vector<uint32_t> &blocks,
+                       const std::vector<uint64_t> &edges)
+{
+    if (!staged_ && blocks_.empty() && edges_.empty()) {
+        // Fresh set (the per-exec conversion boundary): stage only.
+        staged_blocks_ = blocks;
+        staged_edges_ = edges;
+        staged_ = !staged_blocks_.empty() || !staged_edges_.empty();
+        return;
+    }
+    promote();
+    blocks_.reserve(blocks_.size() + blocks.size());
+    edges_.reserve(edges_.size() + edges.size());
+    blocks_.insert(blocks.begin(), blocks.end());
+    edges_.insert(edges.begin(), edges.end());
+}
+
+void
 CoverageSet::merge(const CoverageSet &other)
 {
-    blocks_.insert(other.blocks_.begin(), other.blocks_.end());
-    edges_.insert(other.edges_.begin(), other.edges_.end());
+    promote();
+    other.eachBlock([&](uint32_t b) { blocks_.insert(b); });
+    other.eachEdge([&](uint64_t e) { edges_.insert(e); });
 }
 
 size_t
 CoverageSet::countNewBlocks(const CoverageSet &other) const
 {
+    promote();
     size_t count = 0;
-    for (uint32_t b : other.blocks_)
-        count += (blocks_.count(b) == 0);
+    other.eachBlock([&](uint32_t b) { count += (blocks_.count(b) == 0); });
     return count;
 }
 
 size_t
 CoverageSet::countNewEdges(const CoverageSet &other) const
 {
+    promote();
     size_t count = 0;
-    for (uint64_t e : other.edges_)
-        count += (edges_.count(e) == 0);
+    other.eachEdge([&](uint64_t e) { count += (edges_.count(e) == 0); });
     return count;
 }
 
 std::vector<uint32_t>
 CoverageSet::newBlocks(const CoverageSet &other) const
 {
+    promote();
     std::vector<uint32_t> result;
-    for (uint32_t b : other.blocks_)
+    other.eachBlock([&](uint32_t b) {
         if (blocks_.count(b) == 0)
             result.push_back(b);
+    });
     return result;
+}
+
+bool
+CoverageSet::containsBlock(uint32_t block) const
+{
+    if (staged_) {
+        return std::find(staged_blocks_.begin(), staged_blocks_.end(),
+                         block) != staged_blocks_.end();
+    }
+    return blocks_.count(block) != 0;
+}
+
+bool
+CoverageSet::containsEdge(uint32_t from, uint32_t to) const
+{
+    const uint64_t key = edgeKey(from, to);
+    if (staged_) {
+        return std::find(staged_edges_.begin(), staged_edges_.end(),
+                         key) != staged_edges_.end();
+    }
+    return edges_.count(key) != 0;
+}
+
+void
+DenseCoverage::bind(const Successors *succ, size_t num_blocks)
+{
+    succ_ = succ;
+    if (block_epoch_.size() != num_blocks) {
+        block_epoch_.assign(num_blocks, 0);
+        edge_epoch_.assign(num_blocks * 2, 0);
+        epoch_ = 0;
+    }
+}
+
+void
+DenseCoverage::beginExec()
+{
+    if (++epoch_ == 0) {
+        // Epoch counter wrapped: stale stamps from 4B execs ago could
+        // alias, so pay one full clear and restart at 1.
+        std::fill(block_epoch_.begin(), block_epoch_.end(), 0);
+        std::fill(edge_epoch_.begin(), edge_epoch_.end(), 0);
+        epoch_ = 1;
+    }
+    touched_blocks_.clear();
+    touched_edges_.clear();
+    stray_edges_.clear();
+}
+
+void
+DenseCoverage::addTrace(const uint32_t *trace, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        const uint32_t block = trace[i];
+        if (block_epoch_[block] != epoch_) {
+            block_epoch_[block] = epoch_;
+            touched_blocks_.push_back(block);
+        }
+        if (i + 1 == len)
+            continue;
+        const uint32_t to = trace[i + 1];
+        const Successors &succ = succ_[block];
+        if (to == succ.taken || to == succ.fallthrough) {
+            const size_t slot =
+                static_cast<size_t>(block) * 2 + (to != succ.taken);
+            if (edge_epoch_[slot] != epoch_) {
+                edge_epoch_[slot] = epoch_;
+                touched_edges_.push_back(edgeKey(block, to));
+            }
+        } else {
+            // Stray interrupt-noise transition: not in the static CFG.
+            // At most one per call, so the linear dedup scan is cheap.
+            const uint64_t key = edgeKey(block, to);
+            if (std::find(stray_edges_.begin(), stray_edges_.end(),
+                          key) == stray_edges_.end()) {
+                stray_edges_.push_back(key);
+                touched_edges_.push_back(key);
+            }
+        }
+    }
 }
 
 }  // namespace sp::exec

@@ -2,13 +2,13 @@
 
 #include "obs/timer.h"
 #include "obs/trace.h"
-#include "prog/flatten.h"
 #include "util/logging.h"
 
 namespace sp::exec {
 
 Executor::Executor(const kern::Kernel &kernel, const ExecOptions &opts)
-    : kernel_(kernel), opts_(opts), noise_(opts.noise_seed)
+    : kernel_(kernel), opts_(opts), noise_(opts.noise_seed),
+      backend_(makeExecBackend(kernel, opts.backend))
 {
 }
 
@@ -21,45 +21,11 @@ Executor::run(const prog::Prog &prog)
     // program length).
     obs::TraceSpan trace_span(obs::SpanKind::Execute,
                               prog.calls.size());
-    ExecResult result;
-    kern::KernelState state = kernel_.initialState();
-
-    // Return values of already-executed calls, for resource resolution.
-    std::vector<uint64_t> rets(prog.calls.size(), prog::kBadHandle);
-
     ++programs_executed_;
-    for (size_t i = 0; i < prog.calls.size(); ++i) {
-        const prog::Call &call = prog.calls[i];
-        SP_ASSERT(call.decl != nullptr, "call %zu has no decl", i);
+    ExecResult result =
+        backend_->run(prog, opts_.deterministic ? nullptr : &noise_);
+    calls_executed_ += result.calls.size();
 
-        auto resolver = [&](int32_t ref) -> uint64_t {
-            if (ref < 0 || static_cast<size_t>(ref) >= i)
-                return prog::kBadHandle;
-            return rets[static_cast<size_t>(ref)];
-        };
-        const auto slots = prog::flattenCall(call, resolver);
-
-        CallTrace trace;
-        trace.call_index = static_cast<uint32_t>(i);
-        trace.syscall_id = call.decl->id;
-        kern::CallResult call_result = kernel_.executeCall(
-            call.decl->id, slots, state, trace.blocks,
-            opts_.deterministic ? nullptr : &noise_);
-        ++calls_executed_;
-
-        rets[i] = call_result.ret;
-        trace.ret = call_result.ret;
-        trace.crashed = call_result.crashed;
-        result.coverage.addTrace(trace.blocks);
-        result.calls.push_back(std::move(trace));
-
-        if (call_result.crashed) {
-            result.crashed = true;
-            result.bug_index = call_result.bug_index;
-            result.crash_call = i;
-            break;  // the "VM" is dead
-        }
-    }
     if (obs::timingEnabled()) {
         static obs::Histogram &blocks_hist =
             obs::Registry::global().histogram("exec.coverage_blocks");

@@ -10,6 +10,12 @@
  * stray interrupt blocks and flaky bugs can trigger; deterministic mode
  * (emulating the virtio transport used for data collection) removes
  * both noise sources.
+ *
+ * The execution strategy itself lives behind the ExecBackend seam
+ * (backend.h): the Executor owns the noise stream and throughput
+ * tallies and delegates each run to its backend — the dirty-restore
+ * fast backend by default, the original interpreter on request
+ * (`--exec-backend ref`). Both are bit-identical; see backend.h.
  */
 #ifndef SP_EXEC_EXECUTOR_H
 #define SP_EXEC_EXECUTOR_H
@@ -17,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "exec/backend.h"
 #include "exec/coverage.h"
 #include "kernel/kernel.h"
 #include "prog/value.h"
@@ -31,26 +38,8 @@ struct ExecOptions
     bool deterministic = true;
     /** Seed of the noise stream for non-deterministic mode. */
     uint64_t noise_seed = 0;
-};
-
-/** Trace of one executed call. */
-struct CallTrace
-{
-    uint32_t call_index = 0;
-    uint32_t syscall_id = 0;
-    std::vector<uint32_t> blocks;
-    uint64_t ret = 0;
-    bool crashed = false;
-};
-
-/** Result of executing a whole program. */
-struct ExecResult
-{
-    std::vector<CallTrace> calls;
-    CoverageSet coverage;
-    bool crashed = false;
-    uint32_t bug_index = 0;   ///< valid when crashed
-    size_t crash_call = 0;    ///< call index that crashed
+    /** Execution backend (bit-identical; Fast unless diffing). */
+    BackendKind backend = BackendKind::Fast;
 };
 
 /** Executes programs against one kernel. */
@@ -65,6 +54,9 @@ class Executor
     /** The kernel under test. */
     const kern::Kernel &kernel() const { return kernel_; }
 
+    /** The backend executing this executor's programs. */
+    BackendKind backendKind() const { return backend_->kind(); }
+
     /** Total calls dispatched so far (throughput accounting). */
     uint64_t callsExecuted() const { return calls_executed_; }
 
@@ -75,6 +67,7 @@ class Executor
     const kern::Kernel &kernel_;
     ExecOptions opts_;
     Rng noise_;
+    std::unique_ptr<ExecBackend> backend_;
     uint64_t calls_executed_ = 0;
     uint64_t programs_executed_ = 0;
 };

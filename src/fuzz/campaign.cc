@@ -259,6 +259,7 @@ execOptionsFor(const FuzzOptions &opts)
     exec::ExecOptions exec_opts;
     exec_opts.deterministic = !opts.noisy;
     exec_opts.noise_seed = opts.seed ^ 0xabcdef;
+    exec_opts.backend = opts.exec_backend;
     return exec_opts;
 }
 

@@ -71,6 +71,12 @@ struct FuzzOptions
      * boundary. Null = hit-count profiling off (zero overhead).
      */
     obs::CovMap *covmap = nullptr;
+    /**
+     * Execution backend for every worker executor. Bit-identical
+     * either way (exec/backend.h); Reference exists for differential
+     * runs and A/B throughput measurements.
+     */
+    exec::BackendKind exec_backend = exec::BackendKind::Fast;
 };
 
 /** Which mutation lane produced a program (telemetry attribution). */

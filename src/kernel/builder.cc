@@ -172,6 +172,13 @@ KernelBuilder::finish()
     SP_ASSERT(!finished_);
     finished_ = true;
 
+    // Seal the dense bug-site table the per-block execution hot path
+    // reads in place of the hash map.
+    kernel_.bug_index_at_block_.assign(kernel_.blocks_.size(),
+                                       Kernel::kNoBug);
+    for (const auto &[block, bug_index] : kernel_.bug_at_block_)
+        kernel_.bug_index_at_block_[block] = bug_index;
+
     SP_ASSERT(kernel_.handlers_.size() == kernel_.table_.decls.size());
     for (const auto &handler : kernel_.handlers_) {
         SP_ASSERT(handler.entry != kNoBlock,

@@ -174,14 +174,14 @@ Kernel::executeCall(uint32_t syscall_id,
         const BasicBlock &bb = blocks_[current];
         trace.push_back(current);
 
-        if (auto it = bug_at_block_.find(current);
-            it != bug_at_block_.end()) {
-            const BugSite &bug = bugs_[it->second];
+        if (const uint32_t bug_index = bugIndexAt(current);
+            bug_index != kNoBug) {
+            const BugSite &bug = bugs_[bug_index];
             const bool triggers =
                 !bug.flaky || (noise != nullptr && noise->chance(0.3));
             if (triggers) {
                 result.crashed = true;
-                result.bug_index = it->second;
+                result.bug_index = bug_index;
                 return result;
             }
         }
@@ -256,8 +256,8 @@ Kernel::staticEdges() const
 const BugSite *
 Kernel::bugAt(uint32_t block_id) const
 {
-    auto it = bug_at_block_.find(block_id);
-    return it == bug_at_block_.end() ? nullptr : &bugs_[it->second];
+    const uint32_t bug_index = bugIndexAt(block_id);
+    return bug_index == kNoBug ? nullptr : &bugs_[bug_index];
 }
 
 }  // namespace sp::kern

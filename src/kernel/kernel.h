@@ -143,11 +143,32 @@ class Kernel
   private:
     friend class KernelBuilder;
 
+    /** Sentinel of bug_index_at_block_: no bug planted here. */
+    static constexpr uint32_t kNoBug = ~0u;
+
+    /**
+     * Bug index planted at `block`, or kNoBug. Reads the dense
+     * per-block table sealed by KernelBuilder::finish(); the map is
+     * the fallback for kernels that were never sealed (empty ones).
+     */
+    uint32_t
+    bugIndexAt(uint32_t block) const
+    {
+        if (block < bug_index_at_block_.size())
+            return bug_index_at_block_[block];
+        auto it = bug_at_block_.find(block);
+        return it == bug_at_block_.end() ? kNoBug : it->second;
+    }
+
     prog::SyscallTable table_;
     std::vector<BasicBlock> blocks_;
     std::vector<Handler> handlers_;
     std::vector<BugSite> bugs_;
     std::unordered_map<uint32_t, uint32_t> bug_at_block_;
+    /** Dense mirror of bug_at_block_ (kNoBug = none), one entry per
+     *  block — the CFG walk checks every visited block, and the dense
+     *  lookup beats the hash probe on that hot path. */
+    std::vector<uint32_t> bug_index_at_block_;
     std::vector<std::string> resource_kinds_;
     uint16_t num_flags_ = 0;
     std::string version_ = "sim";

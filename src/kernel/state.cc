@@ -5,7 +5,7 @@
 namespace sp::kern {
 
 KernelState::KernelState(uint16_t num_flags)
-    : flags_(num_flags, false)
+    : flags_(num_flags, 0)
 {
 }
 
@@ -40,8 +40,17 @@ KernelState::kindOf(uint64_t id) const
 void
 KernelState::release(uint64_t id)
 {
-    if (alive(id))
-        resources_[id - 1].alive = false;
+    if (!alive(id))
+        return;
+    if (journaling_) {
+        // Releases of resources allocated after the restore point need
+        // no entry — rollback truncates them away wholesale.
+        const auto slot = static_cast<size_t>(id - 1);
+        if (slot < journal_resources_)
+            undo_.push_back(
+                UndoEntry{static_cast<uint32_t>(slot), 1, false});
+    }
+    resources_[id - 1].alive = false;
 }
 
 size_t
@@ -57,14 +66,41 @@ void
 KernelState::setFlag(uint16_t index, bool value)
 {
     SP_ASSERT(index < flags_.size(), "flag index out of range");
-    flags_[index] = value;
+    if (journaling_)
+        undo_.push_back(UndoEntry{index, flags_[index], true});
+    flags_[index] = value ? 1 : 0;
 }
 
 bool
 KernelState::flag(uint16_t index) const
 {
     SP_ASSERT(index < flags_.size(), "flag index out of range");
-    return flags_[index];
+    return flags_[index] != 0;
+}
+
+void
+KernelState::beginJournal()
+{
+    journaling_ = true;
+    journal_resources_ = resources_.size();
+    undo_.clear();
+}
+
+void
+KernelState::rollback()
+{
+    SP_ASSERT(journaling_, "rollback without beginJournal");
+    // Reverse replay restores the oldest value of multiply-touched
+    // entries last, which is exactly the restore-point value.
+    for (size_t i = undo_.size(); i-- > 0;) {
+        const UndoEntry &entry = undo_[i];
+        if (entry.is_flag)
+            flags_[entry.index] = entry.old_value;
+        else
+            resources_[entry.index].alive = entry.old_value != 0;
+    }
+    undo_.clear();  // capacity retained for the next run
+    resources_.resize(journal_resources_);
 }
 
 }  // namespace sp::kern

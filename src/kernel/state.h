@@ -4,7 +4,16 @@
  * devices, ...) and global state flags that system-call handlers read
  * and write. Snapshot/restore is a plain value copy, mirroring the VM
  * snapshot discipline Snowplow uses for deterministic data collection
- * (§3.1 of the paper).
+ * (§3.1 of the paper) — but the hot path of the fast execution backend
+ * uses the dirty-tracking journal instead: beginJournal() starts
+ * recording an undo log of every mutation, and rollback() replays it
+ * in reverse, so restoring after a program costs O(state touched)
+ * rather than O(state size) (wtf-style dirty-page restore).
+ *
+ * Flags are stored as bytes, not std::vector<bool> bits: handlers read
+ * and write individual flags on the per-block hot path, and the byte
+ * representation both kills the bit-proxy overhead and makes the undo
+ * log a plain (index, old byte) pair.
  */
 #ifndef SP_KERNEL_STATE_H
 #define SP_KERNEL_STATE_H
@@ -67,9 +76,53 @@ class KernelState
     /** Value-copy snapshot. */
     KernelState snapshot() const { return *this; }
 
+    /** @name Dirty-tracking restore (fast execution backend) */
+    /** @{ */
+    /**
+     * Mark the current state as the restore point and start journaling
+     * every mutation (flag writes, releases of pre-existing resources,
+     * allocations). Stays in effect across rollback() calls; the undo
+     * log's capacity is retained so steady-state journaling never
+     * allocates.
+     */
+    void beginJournal();
+
+    /**
+     * Undo every mutation since beginJournal() (or since the last
+     * rollback): journaled flag/alive entries are replayed in reverse
+     * and resources allocated since the restore point are truncated
+     * away. Cost is proportional to the number of journal entries,
+     * not to the state's size. Journaling remains armed.
+     */
+    void rollback();
+
+    /**
+     * Mutations journaled since the restore point: undo-log entries
+     * plus resources allocated on top of it (the `exec.dirty_entries`
+     * metric). Meaningful only while journaling.
+     */
+    size_t dirtyCount() const
+    {
+        return undo_.size() + (resources_.size() - journal_resources_);
+    }
+
+    bool journaling() const { return journaling_; }
+    /** @} */
+
   private:
+    /** One reversible mutation (flag write or resource release). */
+    struct UndoEntry
+    {
+        uint32_t index = 0;    ///< flag index or resource slot
+        uint8_t old_value = 0; ///< previous byte / alive bit
+        bool is_flag = false;
+    };
+
     std::vector<Resource> resources_;
-    std::vector<bool> flags_;
+    std::vector<uint8_t> flags_;
+    std::vector<UndoEntry> undo_;
+    size_t journal_resources_ = 0;  ///< resource count at restore point
+    bool journaling_ = false;
 };
 
 }  // namespace sp::kern

@@ -111,12 +111,24 @@ std::vector<uint64_t>
 flattenCall(const Call &call, const ResourceResolver &resolve)
 {
     std::vector<uint64_t> out;
-    out.reserve(slotCount(*call.decl));
+    flattenCallInto(call, resolve, out);
+    return out;
+}
+
+void
+flattenCallInto(const Call &call, const ResourceResolver &resolve,
+                std::vector<uint64_t> &out)
+{
+    // One arity walk per call, serving both the reserve and the
+    // arity check — slotCount recurses over the decl's type tree,
+    // which is measurable on the exec hot path.
+    const uint32_t arity = slotCount(*call.decl);
+    out.clear();
+    out.reserve(arity);
     for (const auto &arg : call.args)
         flattenArg(*arg, resolve, out);
-    SP_ASSERT(out.size() == slotCount(*call.decl),
+    SP_ASSERT(out.size() == arity,
               "flattened arity mismatch for %s", call.decl->name.c_str());
-    return out;
 }
 
 uint64_t

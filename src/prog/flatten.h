@@ -68,6 +68,14 @@ using ResourceResolver = std::function<uint64_t(int32_t result_ref)>;
 std::vector<uint64_t> flattenCall(const Call &call,
                                   const ResourceResolver &resolve);
 
+/**
+ * Flatten into a caller-owned buffer (cleared first, capacity kept).
+ * The executor hot path reuses one buffer across every call of a
+ * program instead of constructing a fresh vector per call.
+ */
+void flattenCallInto(const Call &call, const ResourceResolver &resolve,
+                     std::vector<uint64_t> &out);
+
 /** Resolver mapping any valid ref to its call index and -1 to bad. */
 uint64_t staticResolver(int32_t result_ref);
 
