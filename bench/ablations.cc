@@ -14,11 +14,24 @@
 //      the default budget.
 //  A5. Aggregation: the paper's GCN-style mean message passing vs a
 //      GAT-style edge-attention variant at equal budget.
+//  A6. Decision policy: ThompsonPolicy vs the static policy (recency
+//      scheduling + the fixed §3.4 fallback) vs pure-PMM (fallback
+//      probability 0) — a fig6-style banded sweep over seeds whose
+//      per-checkpoint curves land in a JSON report
+//      (BENCH_ablations.json, schema ci/schemas/ablations.schema.json)
+//      so CI can gate "thompson matches or beats static".
+//
+// `ablations --sweep-only FILE` runs only A6 and writes the JSON
+// report to FILE (the cheap, CI-gated subset: A1–A5 need the shared
+// eval model, which is too slow to train on every push).
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/train.h"
+#include "fuzz/policy.h"
 #include "util/stats.h"
 
 namespace {
@@ -50,8 +63,10 @@ fuzzFinalEdges(const kern::Kernel &kernel, const core::Pmm &model,
         auto opts = spbench::evalFuzzOptions(spbench::kDayInExecs / 3,
                                              seed);
         opts.max_sites_per_base = max_sites;
+        // The §3.4 fallback knob lives on the loop's decision policy
+        // now, not on the localizer.
+        opts.policy.pmm_fallback_prob = fallback_prob;
         core::SnowplowOptions snow = spbench::evalSnowplowOptions();
-        snow.fallback_prob = fallback_prob;
         auto fuzzer =
             core::makeSnowplowFuzzer(kernel, model, opts, snow);
         edges.add(static_cast<double>(fuzzer->run().final_edges));
@@ -59,11 +74,157 @@ fuzzFinalEdges(const kern::Kernel &kernel, const core::Pmm &model,
     return edges.mean();
 }
 
+// --- A6: decision-policy sweep ---------------------------------------
+
+struct PolicyMode
+{
+    const char *name;
+    fuzz::PolicyKind kind;
+    double fallback_prob;
+};
+
+constexpr PolicyMode kPolicyModes[] = {
+    // The pre-policy default: recency scheduling, 5% random fallback.
+    {"static", fuzz::PolicyKind::Static, 0.05},
+    // Always trust the model (§3.4 ablated away).
+    {"pure-pmm", fuzz::PolicyKind::Static, 0.0},
+    // Reward-driven: Beta-Bernoulli arms over bucket × op × channel.
+    {"thompson", fuzz::PolicyKind::Thompson, 0.05},
+};
+constexpr size_t kPolicyModeCount =
+    sizeof(kPolicyModes) / sizeof(kPolicyModes[0]);
+
+void
+runPolicySweep(const char *out_path)
+{
+    std::printf("=== A6: decision-policy sweep "
+                "(thompson vs static vs pure-pmm) ===\n");
+    kern::Kernel kernel = spbench::makeEvalKernel("6.8");
+
+    // A small, quickly trained PMM: CI runs this sweep on every push,
+    // so it cannot afford the shared eval model's one-time training.
+    core::Pmm model;
+    {
+        core::DatasetOptions data_opts;
+        data_opts.corpus_size = 80;
+        data_opts.mutations_per_base = 80;
+        data_opts.seed = 5;
+        auto dataset = core::collectDataset(kernel, data_opts);
+        core::TrainOptions train_opts;
+        train_opts.epochs = 2;
+        core::trainPmm(model, dataset, train_opts);
+    }
+
+    const uint64_t budget = spbench::kDayInExecs / 3;
+    const std::vector<uint64_t> seeds = {51, 52, 53};
+
+    std::vector<uint64_t> grid;
+    // edges[mode][seed][checkpoint]
+    std::vector<std::vector<std::vector<size_t>>> edges(
+        kPolicyModeCount);
+    for (size_t m = 0; m < kPolicyModeCount; ++m) {
+        for (const uint64_t seed : seeds) {
+            auto opts = spbench::evalFuzzOptions(budget, seed);
+            opts.policy.kind = kPolicyModes[m].kind;
+            opts.policy.pmm_fallback_prob =
+                kPolicyModes[m].fallback_prob;
+            auto fuzzer = core::makeSnowplowFuzzer(kernel, model, opts);
+            const auto report = fuzzer->run();
+            if (grid.empty()) {
+                for (const auto &point : report.timeline)
+                    grid.push_back(point.execs);
+            }
+            std::vector<size_t> curve;
+            for (const auto &point : report.timeline)
+                curve.push_back(point.edges);
+            edges[m].push_back(std::move(curve));
+        }
+    }
+
+    for (size_t m = 0; m < kPolicyModeCount; ++m) {
+        RunningStat final_edges;
+        size_t lo = ~size_t{0}, hi = 0;
+        for (const auto &curve : edges[m]) {
+            final_edges.add(static_cast<double>(curve.back()));
+            lo = curve.back() < lo ? curve.back() : lo;
+            hi = curve.back() > hi ? curve.back() : hi;
+        }
+        std::printf("A6 policy %-8s final edges mean %.1f "
+                    "(band %zu..%zu over %zu seeds)\n",
+                    kPolicyModes[m].name, final_edges.mean(), lo, hi,
+                    seeds.size());
+    }
+
+    std::FILE *out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        std::exit(1);
+    }
+    std::fprintf(out,
+                 "{\"type\":\"ablations_sweep\",\"version\":1,"
+                 "\"kernel\":\"6.8\",\"budget\":%llu,\"seeds\":[",
+                 static_cast<unsigned long long>(budget));
+    for (size_t i = 0; i < seeds.size(); ++i) {
+        std::fprintf(out, "%s%llu", i ? "," : "",
+                     static_cast<unsigned long long>(seeds[i]));
+    }
+    std::fprintf(out, "],\"checkpoints\":[");
+    for (size_t i = 0; i < grid.size(); ++i) {
+        std::fprintf(out, "%s%llu", i ? "," : "",
+                     static_cast<unsigned long long>(grid[i]));
+    }
+    std::fprintf(out, "],\"modes\":[");
+    for (size_t m = 0; m < kPolicyModeCount; ++m) {
+        RunningStat final_edges;
+        for (const auto &curve : edges[m])
+            final_edges.add(static_cast<double>(curve.back()));
+        std::fprintf(
+            out,
+            "%s{\"name\":\"%s\",\"policy\":\"%s\","
+            "\"pmm_fallback_prob\":%.2f,\"edges\":[",
+            m ? "," : "", kPolicyModes[m].name,
+            kPolicyModes[m].kind == fuzz::PolicyKind::Thompson
+                ? "thompson"
+                : "static",
+            kPolicyModes[m].fallback_prob);
+        for (size_t s = 0; s < edges[m].size(); ++s) {
+            std::fprintf(out, "%s[", s ? "," : "");
+            for (size_t i = 0; i < edges[m][s].size(); ++i) {
+                std::fprintf(out, "%s%zu", i ? "," : "",
+                             edges[m][s][i]);
+            }
+            std::fprintf(out, "]");
+        }
+        std::fprintf(out, "],\"mean\":[");
+        for (size_t i = 0; i < grid.size(); ++i) {
+            double total = 0.0;
+            for (const auto &curve : edges[m])
+                total += static_cast<double>(curve[i]);
+            std::fprintf(out, "%s%.2f", i ? "," : "",
+                         total / static_cast<double>(edges[m].size()));
+        }
+        std::fprintf(out, "],\"final_mean\":%.2f}",
+                     final_edges.mean());
+    }
+    std::fprintf(out, "]}\n");
+    std::fclose(out);
+    std::printf("A6 report written to %s\n", out_path);
+}
+
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --sweep-only FILE: run only the A6 policy sweep (the CI-gated
+    // subset) and write its JSON report to FILE.
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--sweep-only") == 0) {
+            runPolicySweep(argv[i + 1]);
+            return 0;
+        }
+    }
+
     std::printf("=== Ablations of Snowplow's design choices ===\n\n");
     kern::Kernel kernel = spbench::makeEvalKernel("6.8");
 
@@ -186,5 +347,8 @@ main()
                     "edges, up-to-6 sites/base -> %.0f\n",
                     single_site, default_edges);
     }
+
+    // --- A6: decision policy ----------------------------------------------
+    runPolicySweep("BENCH_ablations.json");
     return 0;
 }

@@ -89,10 +89,11 @@ validate_jsonl "$snowplow" \
 # flags cannot share objects).
 cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
-    fuzz_test campaign_test fuzz_ext_test core_test core_ext_test \
-    obs_test trace_test data_test covmap_test exec_backend_test
+    fuzz_test campaign_test policy_test fuzz_ext_test core_test \
+    core_ext_test obs_test trace_test data_test covmap_test \
+    exec_backend_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test)$'
+    -R '^(fuzz_test|campaign_test|policy_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -456,4 +457,64 @@ diff "$store_dir/eval_stream.txt" "$store_dir/eval_memory.txt" || {
     "$store_dir/harvest/harvest-000.spds" > /dev/null
 echo "dataset store round-trip + streaming parity: OK"
 
-echo "tier-1 + telemetry + perf + introspection + cartography smoke: OK"
+# Stage 8: decision-policy ablation gate — run the A6 sweep (small
+# freshly-trained PMM, three seeds, three policy modes), validate
+# BENCH_ablations.json against its checked-in schema, and require the
+# Thompson policy to match or beat the static policy's mean final
+# coverage on the smoke kernel.
+./build/bench/ablations --sweep-only BENCH_ablations.json > /dev/null
+python3 - <<'PY'
+import json
+import sys
+
+with open("ci/schemas/ablations.schema.json") as f:
+    schema = json.load(f)
+with open("BENCH_ablations.json") as f:
+    sweep = json.load(f)
+
+TYPES = {"int": int, "str": str, "list": list, "dict": dict,
+         "float": float}
+
+def check(obj, spec, where):
+    for key, type_name in spec.items():
+        if key not in obj:
+            sys.exit(f"BENCH_ablations.json: {where} missing {key!r}")
+        value = obj[key]
+        if not isinstance(value, TYPES[type_name]) or (
+                type_name == "int" and isinstance(value, bool)):
+            sys.exit(f"BENCH_ablations.json: {where}.{key} "
+                     f"is not {type_name}")
+
+check(sweep, schema["required"], "top level")
+if sweep["type"] != "ablations_sweep":
+    sys.exit("BENCH_ablations.json: type is not ablations_sweep")
+if sweep["version"] != schema["version"]:
+    sys.exit(f"BENCH_ablations.json: version {sweep['version']} "
+             "unsupported")
+
+modes = {}
+for i, mode in enumerate(sweep["modes"]):
+    check(mode, schema["mode"], f"modes[{i}]")
+    if len(mode["edges"]) != len(sweep["seeds"]):
+        sys.exit(f"modes[{i}]: {len(mode['edges'])} curves for "
+                 f"{len(sweep['seeds'])} seeds")
+    for curve in mode["edges"]:
+        if len(curve) != len(sweep["checkpoints"]):
+            sys.exit(f"modes[{i}]: curve length disagrees with the "
+                     "checkpoint grid")
+    modes[mode["name"]] = mode
+for name in ("static", "pure-pmm", "thompson"):
+    if name not in modes:
+        sys.exit(f"BENCH_ablations.json: missing mode {name!r}")
+
+static_mean = modes["static"]["final_mean"]
+thompson_mean = modes["thompson"]["final_mean"]
+print(f"policy sweep: static {static_mean:.1f}, "
+      f"pure-pmm {modes['pure-pmm']['final_mean']:.1f}, "
+      f"thompson {thompson_mean:.1f} mean final edges")
+if thompson_mean < static_mean:
+    sys.exit(f"thompson mean final coverage {thompson_mean:.1f} "
+             f"fell below static {static_mean:.1f}")
+PY
+
+echo "tier-1 + telemetry + perf + introspection + cartography + policy smoke: OK"

@@ -9,6 +9,7 @@
 //                     [--covmap-out FILE.jsonl]
 //                     [--directed-from REPORT.json]
 //                     [--exec-backend ref|fast]
+//                     [--policy static|thompson]
 //       Run a fuzzing campaign (Snowplow when --pmm points at a
 //       trained checkpoint, Syzkaller baseline otherwise) and print
 //       the coverage timeline and crash summary. --workers N runs the
@@ -26,6 +27,11 @@
 //       implementation: `fast` (default; dirty-state restore + dense
 //       coverage) or `ref` (the reference interpreter) — the two are
 //       bit-identical, so `ref` is for differential/A-B runs.
+//       --policy picks the loop's decision policy: `static` (default;
+//       the legacy scheduler plus the fixed §3.4 fallback
+//       probability) or `thompson` (Beta-Bernoulli bandit over
+//       seed-bucket × operator × model-vs-random arms, updated from
+//       coverage rewards at every checkpoint).
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT] [--data SHARD]... [--stream 0|1]
@@ -247,6 +253,22 @@ cmdFuzz(const Args &args)
         if (!exec::parseBackendKind(name, &opts.exec_backend))
             SP_FATAL("--exec-backend %s: expected 'ref' or 'fast'",
                      name.c_str());
+    }
+
+    // --policy static|thompson: the loop's decision policy. `static`
+    // (default) is the legacy scheduler + fixed §3.4 fallback
+    // probability; `thompson` learns seed-bucket × operator ×
+    // model-vs-random arms from coverage rewards online.
+    if (args.has("policy")) {
+        const std::string name = args.get("policy", "static");
+        if (name == "static") {
+            opts.policy.kind = fuzz::PolicyKind::Static;
+        } else if (name == "thompson") {
+            opts.policy.kind = fuzz::PolicyKind::Thompson;
+        } else {
+            SP_FATAL("--policy %s: expected 'static' or 'thompson'",
+                     name.c_str());
+        }
     }
 
     fuzz::CampaignOptions campaign_opts;

@@ -173,10 +173,22 @@ PmmLocalizer::localizeWithResult(const prog::Prog &prog,
                                  const exec::ExecResult &result, Rng &rng,
                                  size_t max_sites)
 {
-    if (rng.chance(opts_.fallback_prob)) {
+    return localizeChosen(prog, result, rng, max_sites,
+                          /*use_model=*/true)
+        .sites;
+}
+
+mut::Localization
+PmmLocalizer::localizeChosen(const prog::Prog &prog,
+                             const exec::ExecResult &result, Rng &rng,
+                             size_t max_sites, bool use_model)
+{
+    if (!use_model) {
+        // The policy deferred to the random localizer (§3.4).
         ++fallback_queries_;
-        return fallback_.localize(prog, rng, std::max<size_t>(
-                                                  1, max_sites / 2));
+        return {fallback_.localize(prog, rng,
+                                   std::max<size_t>(1, max_sites / 2)),
+                mut::LocalizerChannel::Random};
     }
     ++model_queries_;
 
@@ -188,9 +200,13 @@ PmmLocalizer::localizeWithResult(const prog::Prog &prog,
     }
     if (sites.size() > max_sites)
         sites.resize(max_sites);
-    if (sites.empty())
-        return fallback_.localize(prog, rng, 1);
-    return sites;
+    if (sites.empty()) {
+        // Historical accounting: a model query that yielded nothing
+        // still counts as a model round, one random site standing in.
+        return {fallback_.localize(prog, rng, 1),
+                mut::LocalizerChannel::Model};
+    }
+    return {std::move(sites), mut::LocalizerChannel::Model};
 }
 
 std::vector<mut::ArgLocation>
@@ -245,9 +261,22 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
                                       const exec::ExecResult &result,
                                       Rng &rng, size_t max_sites)
 {
-    if (rng.chance(opts_.fallback_prob)) {
-        return fallback_.localize(prog, rng,
-                                  std::max<size_t>(1, max_sites / 2));
+    return localizeChosen(prog, result, rng, max_sites,
+                          /*use_model=*/true)
+        .sites;
+}
+
+mut::Localization
+AsyncPmmLocalizer::localizeChosen(const prog::Prog &prog,
+                                  const exec::ExecResult &result,
+                                  Rng &rng, size_t max_sites,
+                                  bool use_model)
+{
+    if (!use_model) {
+        // The policy deferred to the random localizer (§3.4).
+        return {fallback_.localize(prog, rng,
+                                   std::max<size_t>(1, max_sites / 2)),
+                mut::LocalizerChannel::Random};
     }
 
     const uint64_t key = prog.hash();
@@ -257,9 +286,11 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
         LocalizerMetrics::get().async_ready.inc();
         if (sites.size() > max_sites)
             sites.resize(max_sites);
-        if (sites.empty())
-            return fallback_.localize(prog, rng, 1);
-        return sites;
+        if (sites.empty()) {
+            return {fallback_.localize(prog, rng, 1),
+                    mut::LocalizerChannel::Model};
+        }
+        return {std::move(sites), mut::LocalizerChannel::Model};
     }
 
     if (auto it = pending_.find(key); it != pending_.end()) {
@@ -280,21 +311,30 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
             LocalizerMetrics::get().async_ready.inc();
             if (sites.size() > max_sites)
                 sites.resize(max_sites);
-            if (sites.empty())
-                return fallback_.localize(prog, rng, 1);
-            return sites;
+            if (sites.empty()) {
+                return {fallback_.localize(prog, rng, 1),
+                        mut::LocalizerChannel::Model};
+            }
+            return {std::move(sites), mut::LocalizerChannel::Model};
         }
         // Inference still in flight: let the loop do other mutations.
+        // The model was *asked for* but could not answer — a forced
+        // random round, reported as its own channel so the reward
+        // neither credits the model nor the deliberate fallback.
         ++pending_answers_;
         LocalizerMetrics::get().async_pending.inc();
-        return fallback_.localize(prog, rng, 1);
+        return {fallback_.localize(prog, rng, 1),
+                mut::LocalizerChannel::ForcedRandom};
     }
 
-    // First sight of this base: submit the query asynchronously.
+    // First sight of this base: submit the query asynchronously. Until
+    // it lands, answers are forced-random too.
     auto query = buildQueryFor(kernel_, prog, result,
                                opts_.directed_targets);
-    if (query.argument_nodes.empty())
-        return fallback_.localize(prog, rng, 1);
+    if (query.argument_nodes.empty()) {
+        return {fallback_.localize(prog, rng, 1),
+                mut::LocalizerChannel::ForcedRandom};
+    }
     PendingQuery pending;
     pending.locations = std::move(query.argument_locations);
     // Hand the worker's pipeline trace id across the thread boundary:
@@ -306,7 +346,8 @@ AsyncPmmLocalizer::localizeWithResult(const prog::Prog &prog,
     ++submitted_;
     ++pending_answers_;
     LocalizerMetrics::get().async_submitted.inc();
-    return fallback_.localize(prog, rng, 1);
+    return {fallback_.localize(prog, rng, 1),
+            mut::LocalizerChannel::ForcedRandom};
 }
 
 std::unique_ptr<fuzz::Fuzzer>

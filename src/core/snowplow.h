@@ -6,11 +6,14 @@
  * localization step: given a base test and its (cached) coverage, it
  * builds the mutation query with the one-hop alternative frontier as
  * the desired coverage, runs PMM, and returns the arguments whose
- * MUTATE probability clears the threshold (ranked, capped). A small
- * fallback probability keeps the original random localizer in play in
- * case PMM misses promising arguments, and the number of returned sites
- * naturally implements the dynamic mutation count — bases with more
- * promising arguments get more argument mutations.
+ * MUTATE probability clears the threshold (ranked, capped). The §3.4
+ * random-fallback arbitration (a small probability of deferring to the
+ * random localizer in case PMM misses promising arguments) is a *loop*
+ * decision now: the fuzz loop's DecisionPolicy (fuzz/policy.h,
+ * `PolicyOptions::pmm_fallback_prob`) chooses model-vs-random per
+ * round and passes the verdict into `localizeChosen`. The number of
+ * returned sites naturally implements the dynamic mutation count —
+ * bases with more promising arguments get more argument mutations.
  *
  * makeSnowplowFuzzer / makeSyzkallerFuzzer build the two sides of every
  * same-budget comparison in the evaluation.
@@ -35,8 +38,6 @@ struct SnowplowOptions
 {
     /** MUTATE probability threshold. */
     float threshold = 0.5f;
-    /** Probability of deferring to the random localizer (§3.4). */
-    double fallback_prob = 0.05;
     /** Cache capacity for per-base predictions. */
     size_t cache_capacity = 4096;
     /**
@@ -125,10 +126,25 @@ class PmmLocalizer : public mut::Localizer
                                            Rng &rng,
                                            size_t max_sites) override;
 
+    /** Direct model path (no arbitration): rank with PMM. */
     std::vector<mut::ArgLocation>
     localizeWithResult(const prog::Prog &prog,
                        const exec::ExecResult &result, Rng &rng,
                        size_t max_sites) override;
+
+    bool learned() const override { return true; }
+
+    /**
+     * Policy-arbitrated localization: `use_model` false takes the
+     * random-fallback path (channel Random), true ranks with PMM
+     * (channel Model — including the rare cold-model case where PMM
+     * returns no sites and one random site stands in, the historical
+     * accounting).
+     */
+    mut::Localization localizeChosen(const prog::Prog &prog,
+                                     const exec::ExecResult &result,
+                                     Rng &rng, size_t max_sites,
+                                     bool use_model) override;
 
     /** Queries answered by the model (vs fallback). */
     uint64_t modelQueries() const { return model_queries_; }
@@ -163,7 +179,10 @@ class PmmLocalizer : public mut::Localizer
  * fallback so the fuzz loop never blocks, and once the prediction
  * lands it is cached and used for subsequent mutations of that base —
  * Snowplow "catches up with argument mutations" exactly as the paper's
- * Go worker-pool integration does.
+ * Go worker-pool integration does. Those stand-in answers are reported
+ * to the policy as the ForcedRandom channel (`localizeChosen`): the
+ * loop *asked* for the model but got random sites, so the outcome must
+ * credit neither the model's arm nor the deliberate-random arm.
  */
 class AsyncPmmLocalizer : public mut::Localizer
 {
@@ -185,10 +204,26 @@ class AsyncPmmLocalizer : public mut::Localizer
                                            Rng &rng,
                                            size_t max_sites) override;
 
+    /** Direct model path (no arbitration): cached/landed predictions,
+     *  random stand-ins while inference is in flight. */
     std::vector<mut::ArgLocation>
     localizeWithResult(const prog::Prog &prog,
                        const exec::ExecResult &result, Rng &rng,
                        size_t max_sites) override;
+
+    bool learned() const override { return true; }
+
+    /**
+     * Policy-arbitrated localization. Channels: Random when the policy
+     * chose the fallback; Model when a landed/cached prediction
+     * answered; ForcedRandom when the model was requested but could
+     * not answer (prediction still in flight, first sight of the base,
+     * or a base with no argument nodes).
+     */
+    mut::Localization localizeChosen(const prog::Prog &prog,
+                                     const exec::ExecResult &result,
+                                     Rng &rng, size_t max_sites,
+                                     bool use_model) override;
 
     /** @name Telemetry */
     /** @{ */

@@ -145,6 +145,10 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
     // concurrency, the cumulative map is exact.
     if (shared.opts->covmap != nullptr)
         shared.opts->covmap->onCheckpoint(slot);
+    // Policy posterior merge: same serialized-owner discipline. Rewards
+    // recorded after this merge fold in at the next boundary.
+    if (shared.policy != nullptr)
+        shared.policy->onCheckpoint(slot);
     {
         std::lock_guard<std::mutex> lock(shared.checkpoint_mu);
         shared.checkpoints_done.store(target + 1,
@@ -163,11 +167,18 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
  * `base`/`base_result` identify the program the mutant was derived
  * from (argument lane only); they exist solely for the campaign's
  * mutation observer and may be null.
+ *
+ * `arm` is the policy reward arm the mutant is attributed to (-1 for
+ * unattributed executions, i.e. the seed stage): after triage/admit
+ * the policy receives a Reward{new_edges, new_blocks, crash} stamped
+ * with the slot, so reward feedback lands on the same virtual-time
+ * grid as everything else.
  */
 bool
 executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
             MutationLane lane, const mut::ArgLocation *site,
-            bool bounded, const prog::Prog *base = nullptr,
+            bool bounded, int arm = -1,
+            const prog::Prog *base = nullptr,
             const exec::ExecResult *base_result = nullptr)
 {
     detail::CampaignShared &shared = *env.shared;
@@ -188,13 +199,22 @@ executeSlot(detail::WorkerEnv &env, const prog::Prog &program,
 
     boardStage(env, obs::WorkerStage::Triage, slot);
     size_t new_edges = 0;
+    size_t new_blocks = 0;
     bool admitted;
     {
         obs::TraceSpan span(obs::SpanKind::Triage, slot);
         if (result.crashed)
             shared.crashes->record(result.bug_index, program, slot);
-        admitted =
-            shared.corpus->maybeAdd(program, result, slot, &new_edges);
+        admitted = shared.corpus->maybeAdd(program, result, slot,
+                                           &new_edges, &new_blocks);
+    }
+    if (shared.policy != nullptr && arm >= 0) {
+        Reward reward;
+        reward.new_edges = new_edges;
+        reward.new_blocks = new_blocks;
+        reward.crash = result.crashed;
+        reward.slot = slot;
+        shared.policy->recordReward(env.worker_id, arm, reward);
     }
 
     detail::LaneTally &tally = shared.lanes[laneIndex(lane)];
@@ -293,7 +313,7 @@ seedStage(WorkerEnv &env, const kern::Kernel &kernel)
     }
     for (const auto &seed : seeds)
         executeSlot(env, seed, MutationLane::Seed, nullptr,
-                    /*bounded=*/false);
+                    /*bounded=*/false, /*arm=*/-1);
 }
 
 void
@@ -316,36 +336,51 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
             seedStage(env, kernel);
             continue;
         }
-        // One trace id per scheduler round: every stage below — and
-        // the async localizer's inference hop — stamps its spans with
-        // it, so a round is one reconstructible unit in the trace.
+        // One trace id per policy round: every stage below — and the
+        // async localizer's inference hop — stamps its spans with it,
+        // so a round is one reconstructible unit in the trace.
         obs::TraceScope trace(obs::beginTrace());
 
-        // Schedule stage. Copy the picked entry out: base references
-        // into the corpus shouldn't be held across mutant executions.
+        DecisionContext ctx;
+        ctx.corpus = shared.corpus;
+        ctx.mutator = env.mutator;
+        ctx.learned_localizer = env.localizer->learned();
+        ctx.worker = env.worker_id;
+        ctx.now_slot = ledger.claimed();
+
+        // Schedule stage: the policy picks the base entry and
+        // arbitrates this round's localization channel. Copy the
+        // picked entry out: base references into the corpus shouldn't
+        // be held across mutant executions.
+        Decision decision;
         prog::Prog base_program;
         exec::ExecResult base_result;
         {
             boardStage(env, obs::WorkerStage::Schedule);
             obs::TraceSpan span(obs::SpanKind::Schedule);
-            const CorpusEntry &picked =
-                env.scheduler->pick(*shared.corpus, *env.rng);
-            base_program.calls = picked.program.calls;
-            base_result = picked.result;
+            decision = shared.policy->decide(ctx, *env.rng);
+            base_program.calls = decision.seed->program.calls;
+            base_result = decision.seed->result;
         }
 
         // Localize stage, then instantiate + execute per site. The
-        // base program is copied once per instantiated mutant.
-        std::vector<mut::ArgLocation> sites;
+        // base program is copied once per instantiated mutant. The
+        // localizer reports which channel *actually* answered (an
+        // async model can be forced onto the random fallback), and the
+        // argument lane's rewards are attributed to that channel.
+        mut::Localization loc;
         {
             boardStage(env, obs::WorkerStage::Localize);
             obs::TraceSpan span(obs::SpanKind::Localize);
-            sites = env.localizer->localizeWithResult(
+            loc = env.localizer->localizeChosen(
                 base_program, base_result, *env.rng,
-                opts.max_sites_per_base);
-            span.setArg(sites.size());
+                opts.max_sites_per_base, decision.use_pmm);
+            span.setArg(loc.sites.size());
         }
-        for (const auto &site : sites) {
+        const int arg_arm = shared.policy->armFor(
+            decision.seed_bucket, mut::MutationType::ArgumentMutation,
+            loc.channel);
+        for (const auto &site : loc.sites) {
             for (size_t m = 0;
                  m < opts.mutations_per_site && !ledger.exhausted();
                  ++m) {
@@ -361,26 +396,31 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
                 if (!instantiated)
                     break;
                 executeSlot(env, mutant, MutationLane::Argument, &site,
-                            /*bounded=*/true, &base_program,
+                            /*bounded=*/true, arg_arm, &base_program,
                             &base_result);
             }
             if (ledger.exhausted() || shared.stopped())
                 break;
         }
 
-        // Structural mutations (insertion/removal) with their own
-        // selector weights — the "existing random mutators" lane.
+        // Structural mutations (insertion/removal) with the policy
+        // choosing the operator class per mutant — the "existing
+        // random mutators" lane. Structural operators never consult
+        // the model, so their rewards sit on the Random channel.
         for (size_t s = 0; s < opts.structural_mutations_per_base &&
                            !ledger.exhausted();
              ++s) {
             prog::Prog mutant;
             mutant.calls = base_program.calls;
+            mut::MutationType op;
             {
                 boardStage(env, obs::WorkerStage::Instantiate);
                 obs::TraceSpan span(obs::SpanKind::Instantiate, 1);
-                switch (env.mutator->selectType(*env.rng, mutant)) {
+                op = shared.policy->pickOperator(ctx, decision,
+                                                 *env.rng, mutant);
+                switch (op) {
                   case mut::MutationType::ArgumentMutation: {
-                    // Selector landed on arguments: one random-site
+                    // Operator landed on arguments: one random-site
                     // mutant (the fallback lane even when a learned
                     // localizer is installed, §3.4).
                     mut::RandomLocalizer fallback;
@@ -401,7 +441,10 @@ workerLoop(WorkerEnv &env, const kern::Kernel &kernel)
                 }
             }
             executeSlot(env, mutant, MutationLane::Structural, nullptr,
-                        /*bounded=*/true);
+                        /*bounded=*/true,
+                        shared.policy->armFor(
+                            decision.seed_bucket, op,
+                            mut::LocalizerChannel::Random));
         }
     }
     boardStage(env, obs::WorkerStage::Idle);
@@ -445,6 +488,10 @@ finalizeCampaign(const CampaignShared &shared,
     reg.gauge("fuzz.mutant_success.structural")
         .set(rate(metrics.structural_admitted,
                   metrics.structural_mutants));
+    // Fold any post-checkpoint rewards and publish the policy.* gauges
+    // (workers have joined; the final merge is single-threaded).
+    if (shared.policy != nullptr)
+        shared.policy->exportMetrics();
     if (auto *sink = obs::sink()) {
         sink->event(
             "campaign_summary",
@@ -463,7 +510,9 @@ finalizeCampaign(const CampaignShared &shared,
              {"admitted_arg",
               report.lane(MutationLane::Argument).admitted},
              {"admitted_structural",
-              report.lane(MutationLane::Structural).admitted}});
+              report.lane(MutationLane::Structural).admitted},
+             {"policy",
+              shared.policy != nullptr ? shared.policy->name() : "?"}});
     }
     return report;
 }
@@ -486,7 +535,7 @@ CampaignEngine::CampaignEngine(const kern::Kernel &kernel,
                                CampaignOptions options,
                                LocalizerFactory make_localizer)
     : kernel_(kernel), opts_(normalized(std::move(options))),
-      scheduler_(makeScheduler(opts_.fuzz)),
+      policy_(makePolicy(opts_.fuzz)),
       mutator_(kernel.table(), opts_.fuzz.mutator),
       executors_(kernel, execOptionsFor(opts_.fuzz), opts_.workers),
       corpus_(opts_.workers), crashes_(kernel)
@@ -531,11 +580,17 @@ CampaignEngine::run()
     reg.resetCountersWithPrefix("covmap.");
     reg.resetGaugesWithPrefix("covmap.");
     reg.resetCountersWithPrefix("snowplow.cache.");
+    // Policy arm statistics describe one campaign, not the process,
+    // and their export path caches gauge handles.
+    reg.resetGaugesWithPrefix("policy.");
+    reg.resetCountersWithPrefix("policy.");
 
     detail::CampaignShared shared;
     shared.opts = &opts_.fuzz;
     shared.corpus = &corpus_;
     shared.crashes = &crashes_;
+    policy_->beginCampaign(opts_.workers);
+    shared.policy = policy_.get();
     if (opts_.on_mutation)
         shared.observer = &opts_.on_mutation;
     BudgetLedger ledger(opts_.fuzz.exec_budget,
@@ -574,6 +629,8 @@ CampaignEngine::run()
         out += ",\"checkpoints\":";
         out += std::to_string(shared.checkpoints_done.load(
             std::memory_order_acquire));
+        out += ",\"policy\":";
+        out += policy_->statusJson();
         out += "}";
         return out;
     };
@@ -599,7 +656,6 @@ CampaignEngine::run()
         env.executor = &executors_.at(w);
         env.mutator = &mutator_;
         env.localizer = localizers_[w].get();
-        env.scheduler = scheduler_.get();
         if (opts_.fuzz.covmap != nullptr) {
             env.cov_shard = &opts_.fuzz.covmap->shard(
                 w % opts_.fuzz.covmap->shardCount());

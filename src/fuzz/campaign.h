@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "fuzz/fuzzer.h"
+#include "fuzz/policy.h"
 #include "fuzz/sched.h"
 
 namespace sp::obs {
@@ -78,7 +79,9 @@ exec::ExecOptions execOptionsFor(const FuzzOptions &opts);
 /**
  * Build the effective scheduler for `opts`: `opts.scheduler` if set,
  * a HookScheduler over `opts.choose_test` if set, else the
- * recency-biased default.
+ * recency-biased default. Consumed by StaticPolicy (policy.h) as its
+ * pick adapter — the schedulers are no longer dispatched by the loop
+ * itself.
  */
 std::shared_ptr<Scheduler> makeScheduler(const FuzzOptions &opts);
 
@@ -101,6 +104,11 @@ struct CampaignShared
     Corpus *corpus = nullptr;
     CrashLog *crashes = nullptr;
     BudgetLedger *ledger = nullptr;
+    /** The campaign's decision policy (never null once workers run):
+     *  every pick/operator/arbitration choice and every post-triage
+     *  reward goes through it. Shard merges happen in the serialized
+     *  checkpoint owner, before the checkpoints_done publish. */
+    DecisionPolicy *policy = nullptr;
     LaneTally lanes[kMutationLanes];
 
     /** Checkpoints appended strictly in grid order (see emit logic). */
@@ -142,7 +150,6 @@ struct WorkerEnv
     exec::Executor *executor = nullptr;
     const mut::Mutator *mutator = nullptr;
     mut::Localizer *localizer = nullptr;
-    Scheduler *scheduler = nullptr;
     /** This worker's covmap shard (null = profiling off). Only this
      *  worker writes it; the checkpoint owner reads it at merges. */
     obs::CovShard *cov_shard = nullptr;
@@ -227,7 +234,7 @@ class CampaignEngine
   private:
     const kern::Kernel &kernel_;
     CampaignOptions opts_;
-    std::shared_ptr<Scheduler> scheduler_;
+    std::shared_ptr<DecisionPolicy> policy_;
     mut::Mutator mutator_;
     exec::ExecutorPool executors_;
     Corpus corpus_;

@@ -26,9 +26,11 @@ Corpus::Corpus(size_t shards)
 
 bool
 Corpus::maybeAdd(const prog::Prog &program, const exec::ExecResult &result,
-                 uint64_t exec_counter, size_t *new_edges_out)
+                 uint64_t exec_counter, size_t *new_edges_out,
+                 size_t *new_blocks_out)
 {
     size_t new_edges = 0;
+    size_t new_blocks = 0;
     uint64_t hash = 0;
     bool admit = false;
     {
@@ -37,8 +39,10 @@ Corpus::maybeAdd(const prog::Prog &program, const exec::ExecResult &result,
             admitContentionCounter().inc();
             lock.lock();
         }
+        const size_t blocks_before = total_.blockCount();
         new_edges = total_.countNewEdges(result.coverage);
         total_.merge(result.coverage);
+        new_blocks = total_.blockCount() - blocks_before;
         edge_count_.store(total_.edgeCount(), std::memory_order_release);
         block_count_.store(total_.blockCount(),
                            std::memory_order_release);
@@ -50,6 +54,8 @@ Corpus::maybeAdd(const prog::Prog &program, const exec::ExecResult &result,
     }
     if (new_edges_out != nullptr)
         *new_edges_out = new_edges;
+    if (new_blocks_out != nullptr)
+        *new_blocks_out = new_blocks;
     if (!admit)
         return false;
 

@@ -58,11 +58,13 @@ class Corpus
      * corpus total (and it is not a duplicate). Returns true when
      * admitted. The coverage total grows either way. When `new_edges`
      * is non-null it receives the number of edges this execution added
-     * to the aggregate (the legacy before/after edge delta).
+     * to the aggregate (the legacy before/after edge delta);
+     * `new_blocks` likewise for blocks (policy reward feedback).
      */
     bool maybeAdd(const prog::Prog &program,
                   const exec::ExecResult &result, uint64_t exec_counter,
-                  size_t *new_edges = nullptr);
+                  size_t *new_edges = nullptr,
+                  size_t *new_blocks = nullptr);
 
     /**
      * Pick an entry to mutate, biased toward recent additions. The

@@ -11,12 +11,13 @@ namespace sp::fuzz {
 Fuzzer::Fuzzer(const kern::Kernel &kernel, FuzzOptions options,
                std::unique_ptr<mut::Localizer> localizer)
     : kernel_(kernel), opts_(std::move(options)),
-      localizer_(std::move(localizer)), scheduler_(makeScheduler(opts_)),
+      localizer_(std::move(localizer)), policy_(makePolicy(opts_)),
       mutator_(kernel.table(), opts_.mutator),
       executor_(kernel, execOptionsFor(opts_)), crashes_(kernel),
       rng_(opts_.seed)
 {
     SP_ASSERT(localizer_ != nullptr, "fuzzer needs a localizer");
+    policy_->beginCampaign(1);
 }
 
 FuzzReport
@@ -46,6 +47,8 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
     shared.last_checkpoint_edges = last_checkpoint_edges_;
     shared.stop = [this, &stop] { return stop(*this); };
 
+    shared.policy = policy_.get();
+
     detail::WorkerEnv env;
     env.shared = &shared;
     env.worker_id = 0;
@@ -53,7 +56,6 @@ Fuzzer::runUntil(const std::function<bool(const Fuzzer &)> &stop)
     env.executor = &executor_;
     env.mutator = &mutator_;
     env.localizer = localizer_.get();
-    env.scheduler = scheduler_.get();
     if (opts_.covmap != nullptr)
         env.cov_shard = &opts_.covmap->shard(0);
     env.execs_out = &execs_;

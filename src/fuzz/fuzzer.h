@@ -27,6 +27,7 @@
 
 #include "fuzz/corpus.h"
 #include "fuzz/crash.h"
+#include "fuzz/policy.h"
 #include "fuzz/sched.h"
 #include "mutate/mutator.h"
 
@@ -52,10 +53,19 @@ struct FuzzOptions
     size_t structural_mutations_per_base = 2;
     mut::MutatorOptions mutator;
     /**
+     * The decision policy driving scheduling, operator choice, and
+     * PMM-vs-random arbitration (policy.h). The default StaticPolicy
+     * reproduces the historical loop bit-for-bit; `policy.kind =
+     * Thompson` switches every decision to the bandit.
+     */
+    PolicyOptions policy;
+    /**
      * Optional scheduler (Figure 1's choose_test as a stage): picks the
-     * corpus entry to mutate. Shared across campaign workers, so
-     * implementations must be safe for concurrent pick() calls. When
-     * unset, `choose_test` (below) or the recency-biased default runs.
+     * corpus entry to mutate. Consumed by StaticPolicy as its pick
+     * adapter (ignored by ThompsonPolicy, which schedules from the
+     * posterior). Shared across campaign workers, so implementations
+     * must be safe for concurrent pick() calls. When unset,
+     * `choose_test` (below) or the recency-biased default runs.
      */
     std::shared_ptr<Scheduler> scheduler;
     /**
@@ -165,7 +175,7 @@ class Fuzzer
     const kern::Kernel &kernel_;
     FuzzOptions opts_;
     std::unique_ptr<mut::Localizer> localizer_;
-    std::shared_ptr<Scheduler> scheduler_;
+    std::shared_ptr<DecisionPolicy> policy_;
     mut::Mutator mutator_;
     exec::Executor executor_;
     Corpus corpus_;

@@ -31,6 +31,30 @@ struct ArgLocation
 /** Every mutable argument of the program, in program order. */
 std::vector<ArgLocation> allArgLocations(const prog::Prog &prog);
 
+/**
+ * Which mechanism actually produced a round's localization. The fuzz
+ * loop's decision policy arbitrates model-vs-random *up front*
+ * (fuzz/policy.h), but an asynchronous learned localizer can still be
+ * forced onto the random fallback while a prediction is in flight —
+ * that outcome is reported as ForcedRandom so reward accounting never
+ * credits (or blames) the model for sites it did not choose.
+ */
+enum class LocalizerChannel : uint8_t {
+    Random = 0,       ///< the random fallback, chosen by the policy
+    Model = 1,        ///< the learned model answered
+    ForcedRandom = 2  ///< model requested but unavailable (async miss)
+};
+
+/** Number of LocalizerChannel values (dense arm-axis size). */
+constexpr size_t kLocalizerChannels = 3;
+
+/** Sites plus the channel that produced them. */
+struct Localization
+{
+    std::vector<ArgLocation> sites;
+    LocalizerChannel channel = LocalizerChannel::Random;
+};
+
 /** Chooses argument-mutation sites for a base test. */
 class Localizer
 {
@@ -58,6 +82,27 @@ class Localizer
                        size_t max_sites)
     {
         return localize(prog, rng, max_sites);
+    }
+
+    /** True for localizers backed by a learned model — the decision
+     *  policy only arbitrates model-vs-random for these. */
+    virtual bool learned() const { return false; }
+
+    /**
+     * Localization with the model-vs-random choice made by the caller
+     * (the campaign's DecisionPolicy). `use_model` is advisory: a
+     * localizer without a model ignores it, and an async learned
+     * localizer may be unable to honor it — the returned channel
+     * reports what actually happened. The default adapts plain
+     * localizers: `use_model` is ignored and the channel is Random.
+     */
+    virtual Localization
+    localizeChosen(const prog::Prog &prog,
+                   const exec::ExecResult &result, Rng &rng,
+                   size_t max_sites, bool /*use_model*/)
+    {
+        return {localizeWithResult(prog, result, rng, max_sites),
+                LocalizerChannel::Random};
     }
 };
 

@@ -83,8 +83,9 @@ TEST(AsyncLocalizer, EventuallyMatchesSyncPredictions)
     Pmm model(config);
     InferenceService service(model, 2);
 
+    // localizeWithResult is the direct model path (the random-vs-model
+    // arbitration lives in the fuzz loop's policy now).
     SnowplowOptions opts;
-    opts.fallback_prob = 0.0;
     PmmLocalizer sync_localizer(kernel, model, opts);
     auto landed_cache = std::make_shared<PredictionCache>(64);
     AsyncPmmLocalizer async_localizer(kernel, service, opts,
@@ -294,8 +295,7 @@ TEST(PmmLocalizer, EvictsWholesaleAtCapacity)
     config.gnn_layers = 1;
     Pmm model(config);
 
-    SnowplowOptions opts;
-    opts.fallback_prob = 0.0;  // every query goes through the cache
+    SnowplowOptions opts;  // every query goes through the cache
     opts.cache_capacity = 3;
     PmmLocalizer localizer(kernel, model, opts);
 

