@@ -5,6 +5,22 @@
 # snowplow_cli campaign with --metrics-out and asserts the emitted file
 # is valid JSONL carrying the events and registry snapshot the
 # observability layer promises (see DESIGN.md "Observability").
+#
+# Stage index:
+#   1  baseline campaign telemetry (JSONL events + registry snapshot)
+#   2  PMM train + async-inference campaign telemetry
+#   3  ThreadSanitizer pass over the concurrency-bearing suites
+#   4  perf gates: NN/trace/exec micro benches + covmap overhead
+#   5  introspection smoke: /metrics /status /coverage /timeline
+#      scraped over HTTP, trace_event export validated
+#   6  coverage-cartography round trip (covmap log -> analyze ->
+#      fuzz --directed-from)
+#   7  dataset store round trip + streaming-training parity
+#   8  decision-policy ablation sweep gate (thompson >= static)
+#   9  timeline observatory: artifact/report schema checks, compare
+#      gate vs the committed BENCH_timeline.json baseline,
+#      static-vs-thompson verdict, recording-overhead gate (<1% of a
+#      checkpoint interval)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -91,9 +107,9 @@ cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test policy_test fuzz_ext_test core_test \
     core_ext_test obs_test trace_test data_test covmap_test \
-    exec_backend_test
+    exec_backend_test timeline_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|policy_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test)$'
+    -R '^(fuzz_test|campaign_test|policy_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test|timeline_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -203,26 +219,29 @@ PY
 
 # Stage 5: introspection smoke — a short multi-worker campaign with
 # span tracing and the status server up, scraped over HTTP while the
-# process idles in --status-hold. Validates /metrics and /status
-# against the checked-in schemas (ci/schemas/) and that the exported
-# trace parses as Chrome trace_event JSON covering the pipeline.
+# process idles in --status-hold. Validates /metrics, /status,
+# /coverage and /timeline against the checked-in schemas (ci/schemas/)
+# and that the exported trace parses as Chrome trace_event JSON
+# covering the pipeline.
 trace_json=$(mktemp /tmp/sp_ci_trace.XXXXXX.json)
 introspect=$(mktemp /tmp/sp_ci_introspect.XXXXXX.jsonl)
 cov_live=$(mktemp /tmp/sp_ci_covlive.XXXXXX.jsonl)
-trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live"' EXIT
-python3 - "$trace_json" "$introspect" "$cov_live" <<'PY'
+tl_live=$(mktemp /tmp/sp_ci_tllive.XXXXXX.jsonl)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live" "$tl_live"' EXIT
+python3 - "$trace_json" "$introspect" "$cov_live" "$tl_live" <<'PY'
 import json
 import re
 import subprocess
 import sys
 import urllib.request
 
-trace_path, metrics_path, covmap_path = sys.argv[1:4]
+trace_path, metrics_path, covmap_path, timeline_path = sys.argv[1:5]
 proc = subprocess.Popen(
     ["./build/examples/snowplow_cli", "fuzz",
      "--budget", "5000", "--seed", "1", "--workers", "4",
      "--metrics-out", metrics_path,
      "--covmap-out", covmap_path,
+     "--timeline-out", timeline_path,
      "--trace-out", trace_path, "--trace-sample", "1",
      "--status-port", "0", "--status-hold", "1"],
     stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
@@ -297,6 +316,24 @@ for entry in coverage["frontier"]:
     for key in ("target", "guard", "guard_hits"):
         if key not in entry:
             sys.exit(f"/coverage: frontier entry missing {key!r}")
+
+# /timeline serves the recorder's recent-sample window (frozen at
+# end-of-campaign while the process idles in --status-hold).
+timeline = json.loads(get("/timeline"))
+if timeline.get("enabled") is not True:
+    sys.exit("/timeline: not enabled despite --timeline-out")
+for key in ("samples", "ring_capacity", "window"):
+    if key not in timeline:
+        sys.exit(f"/timeline: missing key {key!r}")
+if timeline["samples"] <= 0 or not timeline["window"]:
+    sys.exit(f"/timeline: empty window: {timeline}")
+for entry in timeline["window"]:
+    for key in ("execs", "edges", "blocks", "crashes", "corpus",
+                "counters", "gauges", "hists"):
+        if key not in entry:
+            sys.exit(f"/timeline: window entry missing {key!r}")
+if timeline["window"][-1]["execs"] < 5000:
+    sys.exit("/timeline: window never reached the campaign budget")
 
 # Release the hold and let the process export the trace and exit.
 proc.stdin.write("\n")
@@ -517,4 +554,211 @@ if thompson_mean < static_mean:
              f"fell below static {static_mean:.1f}")
 PY
 
-echo "tier-1 + telemetry + perf + introspection + cartography + policy smoke: OK"
+# Stage 9: timeline observatory regression gate.
+#
+# BENCH_timeline.json is the committed --timeline-out artifact of the
+# canonical campaign below (no metrics sink => no wall clock anywhere
+# in the artifact; --workers 1 => the serialized checkpoint owner is
+# the only sampler; the bytes are reproducible run-to-run). The stage
+# re-runs that campaign, schema-checks the artifacts, and requires
+# `sp_analysis compare` to come back clean against the baseline (exit
+# 3 = regression verdict). A thompson campaign over the same seed set
+# must then match or beat the static baseline's final edges — the same
+# direction stage 8's ablation gate enforces. Finally the recording
+# overhead is gated: one checkpoint sample must cost under 1% of a
+# checkpoint interval's worth of campaign slots.
+#
+# To refresh the baseline after an intentional behavior change:
+#   ./build/examples/snowplow_cli fuzz --budget 6000 --seed 5 \
+#       --workers 1 --policy static --covmap-out /tmp/cov.jsonl \
+#       --timeline-out BENCH_timeline.json
+# then commit the regenerated BENCH_timeline.json.
+tl_fresh=$(mktemp /tmp/sp_ci_tlfresh.XXXXXX.jsonl)
+tl_thompson=$(mktemp /tmp/sp_ci_tlthom.XXXXXX.jsonl)
+tl_cov=$(mktemp /tmp/sp_ci_tlcov.XXXXXX.jsonl)
+cmp_base=$(mktemp /tmp/sp_ci_cmpbase.XXXXXX.json)
+cmp_policy=$(mktemp /tmp/sp_ci_cmppol.XXXXXX.json)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live" "$tl_live" "$tl_fresh" "$tl_thompson" "$tl_cov" "$cmp_base" "$cmp_policy"; rm -rf "$store_dir"' EXIT
+./build/examples/snowplow_cli fuzz --budget 6000 --seed 5 --workers 1 \
+    --policy static --covmap-out "$tl_cov" \
+    --timeline-out "$tl_fresh" > /dev/null
+./build/examples/snowplow_cli fuzz --budget 6000 --seed 5 --workers 1 \
+    --policy thompson --covmap-out "$tl_cov" \
+    --timeline-out "$tl_thompson" > /dev/null
+./build/examples/sp_analysis compare BENCH_timeline.json "$tl_fresh" \
+    --out "$cmp_base" || {
+        echo "timeline: fresh campaign regressed vs the committed baseline"
+        echo "(if intentional, refresh BENCH_timeline.json — see above)"
+        exit 1; }
+./build/examples/sp_analysis compare "$tl_fresh" "$tl_thompson" \
+    --out "$cmp_policy" || {
+        echo "timeline: thompson regressed vs static on the compare grid"
+        exit 1; }
+python3 - BENCH_timeline.json "$tl_fresh" "$tl_thompson" \
+    "$cmp_base" "$cmp_policy" <<'PY'
+import json
+import sys
+
+TYPES = {"int": int, "str": str, "list": list, "dict": dict,
+         "float": (int, float), "bool": bool}
+
+def check(obj, spec, where):
+    for key, type_name in spec.items():
+        if key not in obj:
+            sys.exit(f"{where}: missing key {key!r}")
+        value = obj[key]
+        if not isinstance(value, TYPES[type_name]) or (
+                type_name in ("int", "float")
+                and isinstance(value, bool)):
+            sys.exit(f"{where}.{key} is not {type_name}")
+
+# --- timeline artifacts: header + delta samples + final ------------
+with open("ci/schemas/timeline_log.schema.json") as f:
+    log_schema = json.load(f)
+
+def validate_log(path):
+    with open(path) as f:
+        lines = [json.loads(line) for line in f]
+    if len(lines) < 3:
+        sys.exit(f"{path}: expected header + samples + final")
+    header, samples, final = lines[0], lines[1:-1], lines[-1]
+    check(header, log_schema["header"], f"{path}: header")
+    if header["type"] != "timeline_header":
+        sys.exit(f"{path}: first line is not timeline_header")
+    if header["version"] != log_schema["version"]:
+        sys.exit(f"{path}: version {header['version']} unsupported")
+    if header["timing"]:
+        sys.exit(f"{path}: baseline campaign must not record wall "
+                 "clock (it would not be reproducible)")
+    prev = -1
+    for i, sample in enumerate(samples):
+        check(sample, log_schema["sample"], f"{path}: sample[{i}]")
+        if sample["type"] != "timeline_sample":
+            sys.exit(f"{path}: line {i + 2} is not timeline_sample")
+        if sample["execs"] <= prev:
+            sys.exit(f"{path}: sample grid is not monotone")
+        prev = sample["execs"]
+        if "cov" in sample:
+            check(sample["cov"], log_schema["cov"],
+                  f"{path}: sample[{i}].cov")
+        if "policy" in sample:
+            check(sample["policy"], log_schema["policy"],
+                  f"{path}: sample[{i}].policy")
+    check(final, log_schema["final"], f"{path}: final")
+    if final["type"] != "timeline_final":
+        sys.exit(f"{path}: last line is not timeline_final")
+    # The final record is itself the last recorded sample, so its
+    # cumulative count is one past the delta-encoded grid lines.
+    if final["samples"] != len(samples) + 1:
+        sys.exit(f"{path}: final sample count disagrees with the "
+                 "recorded grid")
+    if "gauges" in final:
+        sys.exit(f"{path}: final record must not carry gauges")
+    return final
+
+base_final = validate_log(sys.argv[1])
+fresh_final = validate_log(sys.argv[2])
+validate_log(sys.argv[3])
+
+# --- compare reports -----------------------------------------------
+with open("ci/schemas/compare_report.schema.json") as f:
+    report_schema = json.load(f)
+
+def validate_report(path, name):
+    with open(path) as f:
+        report = json.load(f)
+    check(report, report_schema["required"], name)
+    if report["type"] != "compare_report":
+        sys.exit(f"{name}: type is not compare_report")
+    if report["version"] != report_schema["version"]:
+        sys.exit(f"{name}: version {report['version']} unsupported")
+    check(report["aligned"], report_schema["aligned"],
+          f"{name}.aligned")
+    if report["aligned"]["samples"] < 2:
+        sys.exit(f"{name}: fewer than 2 aligned samples")
+    coverage = report["coverage"]
+    for key in ("final_edges", "auc"):
+        check(coverage[key], report_schema["delta"],
+              f"{name}.coverage.{key}")
+        if coverage[key]["verdict"] not in report_schema["verdicts"]:
+            sys.exit(f"{name}: unknown verdict "
+                     f"{coverage[key]['verdict']!r}")
+    check(coverage["time_to_target"],
+          report_schema["time_to_target"],
+          f"{name}.coverage.time_to_target")
+    check(report["thresholds"], report_schema["thresholds"],
+          f"{name}.thresholds")
+    if report["verdict"] not in ("ok", "regressed"):
+        sys.exit(f"{name}: unknown overall verdict "
+                 f"{report['verdict']!r}")
+    return report
+
+base = validate_report(sys.argv[4], "baseline compare")
+policy = validate_report(sys.argv[5], "policy compare")
+if base["regressions"]:
+    sys.exit("baseline compare: regressions slipped past the exit "
+             f"code: {base['regressions']}")
+# The compare verdict must agree with stage 8's ablation direction:
+# thompson's final coverage matches or beats static's.
+edges = policy["coverage"]["final_edges"]
+if edges["verdict"] not in ("ok", "improved"):
+    sys.exit(f"policy compare: static -> thompson final edges "
+             f"{edges['a']} -> {edges['b']} contradicts the stage-8 "
+             "ablation gate")
+print(f"timeline compare: baseline {base_final['edges']} / fresh "
+      f"{fresh_final['edges']} final edges, static -> thompson "
+      f"{edges['a']} -> {edges['b']} ({edges['verdict']})")
+PY
+
+# Recording-overhead gate: one per-checkpoint sample (registry sweep,
+# delta encode, artifact append, ring push) must cost under 1% of a
+# checkpoint interval's worth of campaign slot time, and the null-
+# recorder branch every timeline-less campaign pays per checkpoint
+# must be unmeasurable. Same stable-micro-ratio construction as the
+# covmap gate in stage 4.
+./build/bench/timeline \
+    --benchmark_min_time=0.02 \
+    --benchmark_out=BENCH_timeline_perf.json --benchmark_out_format=json \
+    > /dev/null
+python3 - <<'PY'
+import json
+
+with open("BENCH_timeline_perf.json") as f:
+    report = json.load(f)
+names = [b["name"] for b in report["benchmarks"]]
+for needle in ("BM_TimelineOverhead/enabled:0",
+               "BM_TimelineOverhead/enabled:1",
+               "BM_TimelineSample", "BM_TimelineDisabledSite"):
+    if not any(needle in n for n in names):
+        raise SystemExit(
+            f"BENCH_timeline_perf.json: missing {needle} results")
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+def bench(needle):
+    return next(b for b in report["benchmarks"] if needle in b["name"])
+
+def time_ns(needle):
+    b = bench(needle)
+    return b["real_time"] * UNIT_NS[b["time_unit"]]
+
+# Per-execution cost of one recorder-less campaign slot; the sampler
+# runs once per checkpoint_every = 625 executions (the eval grid).
+slot_ns = 1e9 / bench("BM_TimelineOverhead/enabled:0")["items_per_second"]
+sample_ns = time_ns("BM_TimelineSample")
+site_ns = time_ns("BM_TimelineDisabledSite")
+interval_ns = 625.0 * slot_ns
+enabled = sample_ns / interval_ns
+disabled = site_ns / interval_ns
+print(f"BENCH_timeline_perf.json: slot {slot_ns:.0f} ns, sample "
+      f"{sample_ns:.0f} ns, site {site_ns:.2f} ns -> enabled "
+      f"{100.0 * enabled:.3f}%, disabled {100.0 * disabled:.6f}% "
+      "per checkpoint interval")
+if enabled >= 0.01:
+    raise SystemExit(
+        "timeline sampling overhead exceeds 1% of a checkpoint interval")
+if disabled >= 0.0001:
+    raise SystemExit("timeline disabled-site overhead is measurable")
+PY
+
+echo "tier-1 + telemetry + perf + introspection + cartography + policy + timeline smoke: OK"

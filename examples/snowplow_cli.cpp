@@ -7,6 +7,7 @@
 //   snowplow_cli fuzz [--budget N] [--seed N] [--workers N]
 //                     [--pmm CKPT] [--async W] [--harvest-dir DIR]
 //                     [--covmap-out FILE.jsonl]
+//                     [--timeline-out FILE.jsonl]
 //                     [--directed-from REPORT.json]
 //                     [--exec-backend ref|fast]
 //                     [--policy static|thompson]
@@ -31,7 +32,12 @@
 //       the legacy scheduler plus the fixed §3.4 fallback
 //       probability) or `thompson` (Beta-Bernoulli bandit over
 //       seed-bucket × operator × model-vs-random arms, updated from
-//       coverage rewards at every checkpoint).
+//       coverage rewards at every checkpoint). --timeline-out records
+//       one delta-encoded metric/coverage/policy sample per virtual-
+//       time checkpoint (input to `sp_analysis compare`) and serves
+//       the recent window on the status server's /timeline endpoint;
+//       with --workers 1 and no --metrics-out sink the artifact is
+//       bit-reproducible for a given seed.
 //
 //   snowplow_cli train [--corpus N] [--mutations N] [--epochs N]
 //                      [--out CKPT] [--data SHARD]... [--stream 0|1]
@@ -114,6 +120,7 @@
 #include "obs/covmap.h"
 #include "obs/statusd.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "prog/serialize.h"
 #include "util/logging.h"
@@ -299,6 +306,37 @@ cmdFuzz(const Args &args)
             [cm = covmap.get()] { return cm->summaryJson(); });
     }
 
+    // --timeline-out FILE.jsonl: one metric/coverage/policy sample per
+    // virtual-time checkpoint (the `sp_analysis compare` input), plus
+    // the live /timeline window on the status server.
+    std::unique_ptr<obs::TimelineRecorder> timeline;
+    if (args.has("timeline-out")) {
+        timeline = std::make_unique<obs::TimelineRecorder>(
+            obs::TimelineOptions{});
+        const std::string path = args.get("timeline-out", "");
+        std::string extra = "\"campaign\":{\"seed\":";
+        extra += std::to_string(opts.seed);
+        extra += ",\"budget\":";
+        extra += std::to_string(opts.exec_budget);
+        extra += ",\"workers\":";
+        extra += std::to_string(campaign_opts.workers);
+        extra += ",\"policy\":\"";
+        extra += opts.policy.kind == fuzz::PolicyKind::Thompson
+                     ? "thompson"
+                     : "static";
+        extra += "\"},\"kernel\":{\"seed\":";
+        extra += std::to_string(args.getU64("seed", 2024));
+        extra += ",\"version\":\"" + kernel.version();
+        extra += "\",\"evolution\":";
+        extra += std::to_string(args.getU64("evolution", 0));
+        extra += "}";
+        if (!timeline->openLog(path, extra))
+            SP_FATAL("cannot open --timeline-out %s", path.c_str());
+        campaign_opts.fuzz.timeline = timeline.get();
+        obs::setTimelineProvider(
+            [tl = timeline.get()] { return tl->recentJson(); });
+    }
+
     // --directed-from REPORT.json: steer the campaign toward the
     // report's cold-frontier targets (closing the cartography loop).
     std::vector<uint32_t> directed_targets;
@@ -385,6 +423,27 @@ cmdFuzz(const Args &args)
                     summary.frontier_size,
                     static_cast<unsigned long long>(summary.windows),
                     args.get("covmap-out", "").c_str());
+    }
+    if (timeline != nullptr) {
+        // The artifact's final record: the end-of-run tick (after
+        // CovMap::finalize so stray-edge accounting is settled) plus
+        // the one full-percentile registry pass.
+        fuzz::Checkpoint final_cp;
+        final_cp.execs = report.execs;
+        final_cp.edges = report.final_edges;
+        final_cp.blocks = report.final_blocks;
+        final_cp.crashes = report.final_crashes;
+        timeline->finalize(fuzz::makeTimelineTick(
+            final_cp, report.corpus_size, covmap.get(),
+            engine->policy()));
+        // Freeze /timeline for --status-hold scrapes (the recorder
+        // outlives the campaign but dies with this frame).
+        obs::setTimelineProvider(
+            [frozen = timeline->recentJson()] { return frozen; });
+        std::printf("timeline: %llu samples -> %s\n",
+                    static_cast<unsigned long long>(
+                        timeline->sampleCount()),
+                    args.get("timeline-out", "").c_str());
     }
     if (!directed_targets.empty()) {
         const auto &coverage = engine->corpus().totalCoverage();

@@ -1,0 +1,114 @@
+// sp_analysis — offline analysis over campaign artifacts.
+//
+//   sp_analysis compare A.jsonl B.jsonl [--out REPORT.json]
+//                       [--final-edges-tol X] [--auc-tol X]
+//                       [--time-tol X] [--latency-tol X] [--frac X]
+//       Differential comparison of two `fuzz --timeline-out`
+//       artifacts: align both runs on their shared virtual-time grid
+//       and print the verdict table (final edges, coverage AUC,
+//       time-to-X%-of-A's-edges, latency p50 shifts, counter deltas,
+//       policy divergence). A is the baseline: verdicts are relative
+//       to it, with the tolerances above (fractions, e.g. 0.02 = 2%).
+//       --out additionally writes the versioned machine-readable
+//       compare_report JSON.
+//
+//   Exit codes: 0 = compared, no regression; 1 = usage error;
+//   2 = artifact failed to load; 3 = regression verdict(s).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/compare.h"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: sp_analysis compare A.jsonl B.jsonl "
+        "[--out REPORT.json]\n"
+        "                   [--final-edges-tol X] [--auc-tol X] "
+        "[--time-tol X]\n"
+        "                   [--latency-tol X] [--frac X]\n");
+    return 1;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "compare") != 0)
+        return usage();
+
+    std::string path_a, path_b, out;
+    sp::analysis::CompareOptions opts;
+    for (int i = 2; i < argc;) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            const std::string value = argv[i + 1];
+            if (arg == "--out")
+                out = value;
+            else if (arg == "--final-edges-tol")
+                opts.final_edges_tol = std::atof(value.c_str());
+            else if (arg == "--auc-tol")
+                opts.auc_tol = std::atof(value.c_str());
+            else if (arg == "--time-tol")
+                opts.time_to_tol = std::atof(value.c_str());
+            else if (arg == "--latency-tol")
+                opts.latency_tol = std::atof(value.c_str());
+            else if (arg == "--frac")
+                opts.time_to_frac = std::atof(value.c_str());
+            else
+                return usage();
+            i += 2;
+        } else {
+            if (path_a.empty())
+                path_a = arg;
+            else if (path_b.empty())
+                path_b = arg;
+            else
+                return usage();
+            i += 1;
+        }
+    }
+    if (path_a.empty() || path_b.empty())
+        return usage();
+
+    const auto log_a = sp::analysis::TimelineLog::load(path_a);
+    if (!log_a.ok()) {
+        std::fprintf(stderr, "sp_analysis: %s: %s\n", path_a.c_str(),
+                     log_a.error.c_str());
+        return 2;
+    }
+    const auto log_b = sp::analysis::TimelineLog::load(path_b);
+    if (!log_b.ok()) {
+        std::fprintf(stderr, "sp_analysis: %s: %s\n", path_b.c_str(),
+                     log_b.error.c_str());
+        return 2;
+    }
+
+    const auto report = sp::analysis::compare(log_a, log_b, opts);
+    std::fputs(sp::analysis::compareText(report).c_str(), stdout);
+
+    if (!out.empty()) {
+        std::FILE *f = std::fopen(out.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "sp_analysis: cannot write %s\n",
+                         out.c_str());
+            return 2;
+        }
+        const std::string json =
+            sp::analysis::compareJson(report) + "\n";
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+        std::printf("report written to %s\n", out.c_str());
+    }
+    return report.regressed() ? 3 : 0;
+}

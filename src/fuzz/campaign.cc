@@ -6,6 +6,7 @@
 #include "obs/covmap.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "prog/gen.h"
 #include "util/logging.h"
@@ -149,6 +150,14 @@ maybeEmitCheckpoint(detail::WorkerEnv &env, uint64_t slot)
     // recorded after this merge fold in at the next boundary.
     if (shared.policy != nullptr)
         shared.policy->onCheckpoint(slot);
+    // Timeline sample: after both merges (so the tick sees this
+    // boundary's covmap summary and posterior), still before the
+    // publish — samples are serialized and land exactly on the grid.
+    if (shared.opts->timeline != nullptr) {
+        shared.opts->timeline->onCheckpoint(
+            makeTimelineTick(cp, shared.corpus->size(),
+                             shared.opts->covmap, shared.policy));
+    }
     {
         std::lock_guard<std::mutex> lock(shared.checkpoint_mu);
         shared.checkpoints_done.store(target + 1,
@@ -281,6 +290,46 @@ execOptionsFor(const FuzzOptions &opts)
     exec_opts.noise_seed = opts.seed ^ 0xabcdef;
     exec_opts.backend = opts.exec_backend;
     return exec_opts;
+}
+
+obs::TimelineTick
+makeTimelineTick(const Checkpoint &cp, size_t corpus_size,
+                 const obs::CovMap *covmap,
+                 const DecisionPolicy *policy)
+{
+    obs::TimelineTick tick;
+    tick.execs = cp.execs;
+    tick.edges = cp.edges;
+    tick.blocks = cp.blocks;
+    tick.crashes = cp.crashes;
+    tick.corpus_size = corpus_size;
+    if (covmap != nullptr) {
+        const obs::CovSummary cov = covmap->summary();
+        tick.have_cov = true;
+        tick.cov_blocks_hit = cov.blocks_hit;
+        tick.cov_edges_hit = cov.edges_hit;
+        tick.cov_total_block_hits = cov.total_block_hits;
+        tick.cov_frontier_size = cov.frontier_size;
+        tick.cov_stray_edges = cov.stray_edges;
+    }
+    if (policy != nullptr) {
+        tick.have_policy = true;
+        tick.policy_name = policy->name();
+        tick.pmm_share = policy->pmmShare();
+        const size_t arms = policy->armCount();
+        for (size_t arm = 0; arm < arms; ++arm) {
+            const uint64_t pulls =
+                policy->mergedPulls(static_cast<int>(arm));
+            if (pulls == 0)
+                continue;
+            obs::TimelineArm entry;
+            entry.arm = static_cast<int>(arm);
+            entry.pulls = pulls;
+            entry.wins = policy->mergedWins(static_cast<int>(arm));
+            tick.arms.push_back(entry);
+        }
+    }
+    return tick;
 }
 
 std::shared_ptr<Scheduler>
@@ -584,6 +633,30 @@ CampaignEngine::run()
     // and their export path caches gauge handles.
     reg.resetGaugesWithPrefix("policy.");
     reg.resetCountersWithPrefix("policy.");
+    // Timeline bookkeeping is per campaign too.
+    reg.resetCountersWithPrefix("timeline.");
+    reg.resetGaugesWithPrefix("timeline.");
+    // End-of-run wall-clock gauges from a previous campaign must not
+    // appear in this campaign's timeline samples: they carry machine
+    // time, which would make an otherwise-deterministic artifact
+    // differ across back-to-back runs.
+    reg.resetGaugesWithPrefix("fuzz.execs_per_sec");
+    reg.resetGaugesWithPrefix("fuzz.mutant_success.");
+    // Latency/size distributions are campaign-scoped the same way as
+    // the counters above — their hot paths cache handles, so reset in
+    // place. Without this, a second campaign's timeline inherits the
+    // first one's exec.restore_us / exec.dirty_entries / nn.gemm_us
+    // moments.
+    reg.resetDistributionsWithPrefix("exec.");
+    reg.resetDistributionsWithPrefix("fuzz.");
+    reg.resetDistributionsWithPrefix("covmap.");
+    reg.resetDistributionsWithPrefix("nn.");
+    reg.resetDistributionsWithPrefix("timeline.");
+    // The recorder took its baselines at construction, before the
+    // resets above; recapture them so campaign-reset counters read as
+    // raw campaign counts instead of value-minus-stale-baseline.
+    if (opts_.fuzz.timeline != nullptr)
+        opts_.fuzz.timeline->rebaseline();
 
     detail::CampaignShared shared;
     shared.opts = &opts_.fuzz;

@@ -42,7 +42,9 @@
 #include "fuzz/sched.h"
 
 namespace sp::obs {
+class CovMap;
 class CovShard;
+struct TimelineTick;
 }
 
 namespace sp::fuzz {
@@ -84,6 +86,19 @@ exec::ExecOptions execOptionsFor(const FuzzOptions &opts);
  * itself.
  */
 std::shared_ptr<Scheduler> makeScheduler(const FuzzOptions &opts);
+
+/**
+ * Assemble one timeline tick from a checkpoint's campaign facts plus
+ * the merged covmap summary and policy posterior (both nullable). The
+ * fuzz layer owns this mapping so obs::TimelineTick stays plain
+ * fields; the serialized checkpoint owner calls it per grid boundary,
+ * and the CLI calls it once more (after CovMap::finalize) for the
+ * artifact's final record.
+ */
+obs::TimelineTick makeTimelineTick(const Checkpoint &cp,
+                                   size_t corpus_size,
+                                   const obs::CovMap *covmap,
+                                   const DecisionPolicy *policy);
 
 namespace detail {
 
@@ -229,6 +244,9 @@ class CampaignEngine
     const CrashLog &crashes() const { return crashes_; }
     const kern::Kernel &kernel() const { return kernel_; }
     size_t workerCount() const { return opts_.workers; }
+    /** The campaign's decision policy (timeline final ticks sample
+     *  its merged posterior after run()). */
+    const DecisionPolicy *policy() const { return policy_.get(); }
     /** @} */
 
   private:

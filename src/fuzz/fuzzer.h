@@ -33,6 +33,7 @@
 
 namespace sp::obs {
 class CovMap;
+class TimelineRecorder;
 }
 
 namespace sp::fuzz {
@@ -81,6 +82,14 @@ struct FuzzOptions
      * boundary. Null = hit-count profiling off (zero overhead).
      */
     obs::CovMap *covmap = nullptr;
+    /**
+     * Optional campaign timeline recorder (obs/timeline.h, not owned;
+     * must outlive the run). The in-order checkpoint owner hands it
+     * one tick per grid boundary — campaign facts plus the covmap and
+     * policy merged state — and it samples the metrics registry under
+     * that serialization. Null = no metric history (zero overhead).
+     */
+    obs::TimelineRecorder *timeline = nullptr;
     /**
      * Execution backend for every worker executor. Bit-identical
      * either way (exec/backend.h); Reference exists for differential

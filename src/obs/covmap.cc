@@ -296,7 +296,11 @@ computeFrontier(const CovMapPlan &plan,
 void
 CovMap::mergeLocked(uint64_t execs, bool emit_window)
 {
-    const uint64_t start_us = monotonicMicros();
+    // Wall-clock merge cost is telemetry, not campaign state: gate it
+    // like every SP_TIMED span so sink-less runs keep the registry
+    // free of machine-dependent values (timeline bit-reproducibility).
+    const bool timed = timingEnabled();
+    const uint64_t start_us = timed ? monotonicMicros() : 0;
 
     std::vector<uint64_t> blocks, edges;
     uint64_t stray = 0;
@@ -372,8 +376,10 @@ CovMap::mergeLocked(uint64_t execs, bool emit_window)
     metrics.edges_hit.set(static_cast<double>(edges_hit));
     metrics.frontier_size.set(static_cast<double>(frontier.size()));
     metrics.resident_bytes.set(static_cast<double>(residentBytes()));
-    metrics.merge_us.record(
-        static_cast<double>(monotonicMicros() - start_us));
+    if (timed) {
+        metrics.merge_us.record(
+            static_cast<double>(monotonicMicros() - start_us));
+    }
 }
 
 void

@@ -90,6 +90,17 @@ Histogram::snapshot() const
     return merged;
 }
 
+RunningStat
+Histogram::stat() const
+{
+    RunningStat merged;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> guard(shard.mu);
+        merged.merge(shard.stat);
+    }
+    return merged;
+}
+
 void
 Histogram::reset()
 {
@@ -257,6 +268,21 @@ Registry::resetCountersWithPrefix(const std::string &prefix)
     size_t reset = 0;
     for (auto it = counters_.lower_bound(prefix);
          it != counters_.end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+        it->second->reset();
+        ++reset;
+    }
+    return reset;
+}
+
+size_t
+Registry::resetDistributionsWithPrefix(const std::string &prefix)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    size_t reset = 0;
+    for (auto it = histograms_.lower_bound(prefix);
+         it != histograms_.end() &&
          it->first.compare(0, prefix.size(), prefix) == 0;
          ++it) {
         it->second->reset();

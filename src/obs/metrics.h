@@ -97,6 +97,14 @@ class Histogram
     /** Merge every shard into one stat + sample set. */
     HistogramSnapshot snapshot() const;
 
+    /**
+     * Merge only the exact moments (count/mean/min/max/stddev), no
+     * sample copy. O(shards) instead of O(retained samples) — the
+     * per-checkpoint timeline sampler's path, where a full snapshot()
+     * of every histogram would dominate the checkpoint budget.
+     */
+    RunningStat stat() const;
+
     /** Drop all shards' contents. */
     void reset();
 
@@ -194,6 +202,16 @@ class Registry
      * back-to-back campaigns in one process.
      */
     size_t resetCountersWithPrefix(const std::string &prefix);
+
+    /**
+     * Drop the contents of every histogram whose name starts with
+     * `prefix` (cached handles stay valid), returning how many were
+     * reset. The histogram analog of resetCountersWithPrefix: without
+     * it, back-to-back campaigns in one process bleed latency
+     * distributions (`exec.restore_us`, `nn.gemm_us`) into each
+     * other's timelines.
+     */
+    size_t resetDistributionsWithPrefix(const std::string &prefix);
 
   private:
     mutable std::mutex mu_;

@@ -206,6 +206,9 @@ StatusServer::serveLoop()
         } else if (path == "/coverage") {
             response = httpResponse("200 OK", "application/json",
                                     coverageJson() + "\n");
+        } else if (path == "/timeline") {
+            response = httpResponse("200 OK", "application/json",
+                                    timelineJson() + "\n");
         } else if (path == "/healthz") {
             response = httpResponse("200 OK", "text/plain", "ok\n");
         } else if (path.empty()) {
@@ -214,7 +217,8 @@ StatusServer::serveLoop()
         } else {
             response = httpResponse(
                 "404 Not Found", "text/plain",
-                "not found; try /metrics /status /coverage /healthz\n");
+                "not found; try /metrics /status /coverage /timeline "
+                "/healthz\n");
         }
         // Counted before the reply: a client that saw its response
         // complete must observe the incremented count.

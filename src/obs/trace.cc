@@ -194,6 +194,8 @@ std::mutex g_status_provider_mu;
 std::function<std::string()> g_status_provider;
 std::mutex g_coverage_provider_mu;
 std::function<std::string()> g_coverage_provider;
+std::mutex g_timeline_provider_mu;
+std::function<std::string()> g_timeline_provider;
 
 void
 collectForExport(const Span &span)
@@ -730,6 +732,25 @@ coverageJson()
     return payload.empty() ? "{\"enabled\":false}" : payload;
 }
 
+void
+setTimelineProvider(std::function<std::string()> provider)
+{
+    std::lock_guard<std::mutex> lock(g_timeline_provider_mu);
+    g_timeline_provider = std::move(provider);
+}
+
+std::string
+timelineJson()
+{
+    // Same invoke-under-registration-mutex contract as the status and
+    // coverage providers: once setTimelineProvider() returns, no
+    // thread is still running the previous provider.
+    std::lock_guard<std::mutex> lock(g_timeline_provider_mu);
+    const std::string payload =
+        g_timeline_provider ? g_timeline_provider() : "";
+    return payload.empty() ? "{\"enabled\":false}" : payload;
+}
+
 namespace {
 
 void
@@ -799,7 +820,11 @@ flightRecordNow(std::string_view reason)
         }
         out += "]}";
     }
-    out += "],\"registry\":";
+    out += "],\"timeline\":";
+    // Metric trends leading up to the dump: the recent timeline window
+    // shows execs/sec decay or queue growth, not just the final state.
+    out += timelineJson();
+    out += ",\"registry\":";
     out += Registry::global().snapshotJson();
     out += "}\n";
 

@@ -296,6 +296,22 @@ void setCoverageProvider(std::function<std::string()> provider);
  */
 std::string coverageJson();
 
+/**
+ * Register the callable behind the status server's /timeline endpoint
+ * (normally TimelineRecorder::recentJson of the live campaign, or a
+ * frozen window once the campaign finished). Same concurrency contract
+ * as setStatusProvider(). Flight records embed the same payload so a
+ * stall dump carries the metric trend, not just the final state. Pass
+ * nullptr to clear.
+ */
+void setTimelineProvider(std::function<std::string()> provider);
+
+/**
+ * The /timeline payload: the registered provider's JSON, or
+ * {"enabled":false} when none is registered.
+ */
+std::string timelineJson();
+
 /** @} */
 
 /**
