@@ -1,0 +1,163 @@
+// Fabric wire-protocol hot-path benchmarks (DESIGN.md §16).
+//
+// A lease result is the fabric's dominant message: every node pushes
+// one per lease, carrying new-coverage programs, crash reports, covmap
+// deltas, posterior deltas, and (optionally) a harvested shard. These
+// benches pin down what the codec and the frame discipline cost so
+// protocol overhead stays noise next to the campaigns themselves:
+//
+//  - BM_LeaseResultEncode/Decode — the full codec over a result sized
+//    like a productive lease (items/s is results, bytes/s is payload);
+//  - BM_FrameRoundTrip — sendFrame + recvFrame over a socketpair, the
+//    complete per-message wire path including CRC on both ends;
+//  - BM_RecvRejectsCorruptFrame — the defense path: how fast a CRC
+//    mismatch is detected and the connection condemned.
+
+#include <benchmark/benchmark.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.h"
+
+namespace {
+
+using namespace sp;
+
+/** A lease result shaped like a productive 500-slot lease. */
+fleet::LeaseResultMsg
+sampleResult()
+{
+    fleet::LeaseResultMsg msg;
+    msg.lease_id = 7;
+    msg.execs = 500;
+    for (int i = 0; i < 24; ++i) {
+        fleet::WireProgram prog;
+        prog.text = "r0 = open(path=\"/dev/sp" + std::to_string(i) +
+                    "\", flags=2)\nwrite(fd=r0, buf=&buf, len=64)\n"
+                    "ioctl(fd=r0, cmd=0x5401, arg=&arg)\nclose(fd=r0)\n";
+        for (uint32_t b = 0; b < 40; ++b)
+            prog.blocks.push_back(i * 17 + b);
+        for (uint64_t e = 0; e < 48; ++e)
+            prog.edges.push_back((uint64_t)i << 32 | e);
+        msg.programs.push_back(std::move(prog));
+    }
+    for (uint32_t c = 0; c < 4; ++c)
+        msg.crashes.push_back({c, 100 + c * 50,
+                               "r0 = open(path=\"/dev/crash\", flags=2)\n"});
+    msg.have_cov = true;
+    for (uint32_t b = 0; b < 300; ++b)
+        msg.block_deltas.emplace_back(b, 5 + b % 11);
+    for (uint32_t e = 0; e < 400; ++e)
+        msg.edge_deltas.emplace_back(e, 3 + e % 7);
+    msg.stray_edges = 12;
+    msg.have_policy = true;
+    msg.policy_name = "thompson";
+    msg.pmm_share = 0.42;
+    for (uint32_t a = 0; a < 12; ++a)
+        msg.arms.push_back({a, 40 + a, 10 + a});
+    return msg;
+}
+
+void
+BM_LeaseResultEncode(benchmark::State &state)
+{
+    const fleet::LeaseResultMsg msg = sampleResult();
+    size_t bytes = 0;
+    for (auto _ : state) {
+        std::vector<uint8_t> payload = msg.encode();
+        bytes = payload.size();
+        benchmark::DoNotOptimize(payload.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * (int64_t)bytes);
+}
+BENCHMARK(BM_LeaseResultEncode);
+
+void
+BM_LeaseResultDecode(benchmark::State &state)
+{
+    const std::vector<uint8_t> payload = sampleResult().encode();
+    for (auto _ : state) {
+        fleet::LeaseResultMsg msg;
+        bool ok = msg.decode(payload);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(msg.programs.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * (int64_t)payload.size());
+}
+BENCHMARK(BM_LeaseResultDecode);
+
+void
+BM_FrameRoundTrip(benchmark::State &state)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        state.SkipWithError("socketpair failed");
+        return;
+    }
+    const std::vector<uint8_t> payload = sampleResult().encode();
+    for (auto _ : state) {
+        bool sent = fleet::sendFrame(fds[0], fleet::MsgType::LeaseResult,
+                                     payload);
+        fleet::Frame frame;
+        fleet::RecvStatus status = fleet::recvFrame(fds[1], &frame);
+        if (!sent || status != fleet::RecvStatus::Ok) {
+            state.SkipWithError("frame round trip failed");
+            break;
+        }
+        benchmark::DoNotOptimize(frame.payload.data());
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(state.iterations() * (int64_t)(payload.size() + 16));
+}
+BENCHMARK(BM_FrameRoundTrip);
+
+void
+BM_RecvRejectsCorruptFrame(benchmark::State &state)
+{
+    // Pre-render one good frame, then flip a payload bit so the CRC
+    // check — the last line of defense — is what rejects it.
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        state.SkipWithError("socketpair failed");
+        return;
+    }
+    const std::vector<uint8_t> payload = sampleResult().encode();
+    if (!fleet::sendFrame(fds[0], fleet::MsgType::LeaseResult, payload)) {
+        state.SkipWithError("sendFrame failed");
+        return;
+    }
+    std::vector<uint8_t> wire(payload.size() + 16);
+    ssize_t got = ::recv(fds[1], wire.data(), wire.size(), MSG_WAITALL);
+    if (got != (ssize_t)wire.size()) {
+        state.SkipWithError("frame capture failed");
+        return;
+    }
+    wire[wire.size() / 2] ^= 0x40;
+    for (auto _ : state) {
+        ssize_t put = ::send(fds[0], wire.data(), wire.size(), 0);
+        fleet::Frame frame;
+        fleet::RecvStatus status = fleet::recvFrame(fds[1], &frame);
+        if (put != (ssize_t)wire.size() ||
+            status != fleet::RecvStatus::Malformed) {
+            state.SkipWithError("corrupt frame not rejected");
+            break;
+        }
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecvRejectsCorruptFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

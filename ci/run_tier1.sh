@@ -21,6 +21,12 @@
 #      gate vs the committed BENCH_timeline.json baseline,
 #      static-vs-thompson verdict, recording-overhead gate (<1% of a
 #      checkpoint interval)
+#  10  fleet fabric: localhost coordinator + 4 nodes (one abandons its
+#      first lease mid-campaign) drain the stage-9 campaign budget;
+#      the merged fleet timeline must be regression-free vs the
+#      committed BENCH_timeline.json; coordinator /status and /metrics
+#      validated against fleet_status.schema.json and the [fleet]
+#      section of metrics.required.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -107,9 +113,9 @@ cmake -B build-tsan -S . -DSP_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target \
     fuzz_test campaign_test policy_test fuzz_ext_test core_test \
     core_ext_test obs_test trace_test data_test covmap_test \
-    exec_backend_test timeline_test
+    exec_backend_test timeline_test fleet_test
 ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
-    -R '^(fuzz_test|campaign_test|policy_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test|timeline_test)$'
+    -R '^(fuzz_test|campaign_test|policy_test|fuzz_ext_test|core_test|core_ext_test|obs_test|trace_test|data_test|covmap_test|exec_backend_test|timeline_test|fleet_test)$'
 
 # Stage 4: NN hot-path perf smoke — run the GEMM / inference-latency /
 # service-throughput benchmarks briefly (min_time is a bare double;
@@ -291,9 +297,17 @@ if status["campaign"]["completed"] < 5000:
     sys.exit("/status: campaign.completed below the budget")
 
 metrics = get("/metrics")
+# The unsectioned prefix of metrics.required.txt applies to every
+# fuzz campaign; [role] sections below it (e.g. [fleet]) are checked
+# by their own stages.
+required = []
 with open("ci/schemas/metrics.required.txt") as f:
-    required = [line.strip() for line in f
-                if line.strip() and not line.startswith("#")]
+    for line in f:
+        line = line.strip()
+        if line.startswith("["):
+            break
+        if line and not line.startswith("#"):
+            required.append(line)
 for name in required:
     if not re.search(rf"^{re.escape(name)}(\{{| )", metrics, re.M):
         sys.exit(f"/metrics: missing required metric {name}")
@@ -761,4 +775,156 @@ if disabled >= 0.0001:
     raise SystemExit("timeline disabled-site overhead is measurable")
 PY
 
-echo "tier-1 + telemetry + perf + introspection + cartography + policy + timeline smoke: OK"
+# Stage 10: fleet fabric gate (DESIGN.md §16).
+#
+# A localhost coordinator and four nodes — one of which abandons its
+# first lease mid-campaign, forcing a disconnect-reclaim — drain the
+# same canonical campaign stage 9 replays (--budget 6000 --seed 5,
+# static policy). The fleet is not bit-reproducible (lease->node
+# assignment is timing-dependent), so the gate is directional, not
+# byte-equal: the merged fleet timeline goes through `sp_analysis
+# compare` against the committed single-process BENCH_timeline.json
+# and must come back regression-free. The coordinator's /status and
+# /metrics are validated against ci/schemas/fleet_status.schema.json
+# and the [fleet] section of metrics.required.txt while the process
+# idles in --status-hold.
+fleet_tl=$(mktemp /tmp/sp_ci_fleettl.XXXXXX.jsonl)
+fleet_cmp=$(mktemp /tmp/sp_ci_fleetcmp.XXXXXX.json)
+trap 'rm -f "$baseline" "$snowplow" "$ckpt" "$trace_json" "$introspect" "$cov_live" "$tl_live" "$tl_fresh" "$tl_thompson" "$tl_cov" "$cmp_base" "$cmp_policy" "$fleet_tl" "$fleet_cmp"; rm -rf "$store_dir"' EXIT
+python3 - "$fleet_tl" <<'PY'
+import json
+import re
+import subprocess
+import sys
+import urllib.request
+
+timeline_path = sys.argv[1]
+coord = subprocess.Popen(
+    ["./build/examples/snowplow_cli", "fleet", "coordinator",
+     "--port", "0", "--budget", "6000", "--seed", "5",
+     "--policy", "static", "--timeline-out", timeline_path,
+     "--drain-timeout-ms", "120000",
+     "--status-port", "0", "--status-hold", "1"],
+    stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+
+# Read until the coordinator is listening, launch the nodes, then keep
+# reading until --status-hold: everything the fleet produced is frozen
+# behind the status server by then.
+status_port = None
+fleet_port = None
+drained = False
+nodes = []
+for line in coord.stdout:
+    match = re.match(r"status server listening on port (\d+)", line)
+    if match:
+        status_port = int(match.group(1))
+    match = re.match(r"fleet coordinator listening on port (\d+)", line)
+    if match:
+        fleet_port = int(match.group(1))
+        for i in range(4):
+            argv = ["./build/examples/snowplow_cli", "fleet", "node",
+                    "--connect", f"127.0.0.1:{fleet_port}",
+                    "--name", f"ci{i}"]
+            if i == 0:
+                argv += ["--abandon-first", "1"]
+            nodes.append(subprocess.Popen(
+                argv, stdout=subprocess.DEVNULL))
+    drained |= line.startswith("fleet drained: yes")
+    if line.startswith("status-hold:"):
+        break
+if fleet_port is None or status_port is None:
+    sys.exit("fleet: missing listening-port lines")
+if not drained:
+    sys.exit("fleet: coordinator never drained the budget")
+for i, node in enumerate(nodes):
+    if node.wait(timeout=60) != 0:
+        sys.exit(f"fleet: node ci{i} exited {node.returncode}")
+
+def get(path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{status_port}{path}",
+            timeout=10) as response:
+        return response.read().decode()
+
+TYPES = {"int": int, "str": str, "list": list, "dict": dict,
+         "float": (int, float), "bool": bool}
+
+with open("ci/schemas/fleet_status.schema.json") as f:
+    schema = json.load(f)
+
+def check(obj, spec, where):
+    for key, type_name in spec.items():
+        if key not in obj:
+            sys.exit(f"/status: {where} missing key {key!r}")
+        value = obj[key]
+        if not isinstance(value, TYPES[type_name]) or (
+                type_name in ("int", "float")
+                and isinstance(value, bool)):
+            sys.exit(f"/status: {where}.{key} is not {type_name}")
+
+status = json.loads(get("/status"))
+check(status, schema["required"], "top level")
+campaign = status["campaign"]
+check(campaign, schema["campaign"], "campaign")
+check(campaign["policy"], schema["policy"], "campaign.policy")
+if campaign["type"] != "fleet":
+    sys.exit(f"/status: campaign.type is {campaign['type']!r}")
+if not campaign["drained"] or campaign["watermark"] != 6000:
+    sys.exit(f"/status: fleet did not drain cleanly: {campaign}")
+if campaign["nodes_seen"] < 4 or campaign["leases_reclaimed"] < 1:
+    sys.exit("/status: abandoned lease was not observed/reclaimed: "
+             f"{campaign}")
+if campaign["edges"] <= 0 or campaign["corpus_size"] <= 0:
+    sys.exit(f"/status: empty merged aggregate: {campaign}")
+
+coverage = json.loads(get("/coverage"))
+if coverage.get("enabled") is not True or coverage.get("execs", 0) < 6000:
+    sys.exit(f"/coverage: implausible fleet summary: {coverage}")
+
+metrics = get("/metrics")
+section = None
+required = []
+for line in open("ci/schemas/metrics.required.txt"):
+    line = line.strip()
+    if line.startswith("["):
+        section = line.strip("[]")
+        continue
+    if section == "fleet" and line and not line.startswith("#"):
+        required.append(line)
+if not required:
+    sys.exit("metrics.required.txt: no [fleet] section")
+for name in required:
+    if not re.search(rf"^{re.escape(name)}(\{{| )", metrics, re.M):
+        sys.exit(f"/metrics: missing required fleet metric {name}")
+
+# Release the hold and let the coordinator exit.
+coord.stdin.write("\n")
+coord.stdin.close()
+if coord.wait(timeout=60) != 0:
+    sys.exit(f"fleet: coordinator exited {coord.returncode}")
+print(f"fleet fabric: port {fleet_port}, {campaign['nodes_seen']} "
+      f"nodes, {campaign['leases_granted']} leases "
+      f"({campaign['leases_reclaimed']} reclaimed), "
+      f"{campaign['edges']} merged edges, "
+      f"{len(required)} fleet metrics present")
+PY
+./build/examples/sp_analysis compare BENCH_timeline.json "$fleet_tl" \
+    --out "$fleet_cmp" || {
+        echo "fleet: merged fleet timeline regressed vs the committed"
+        echo "single-process baseline (BENCH_timeline.json)"
+        exit 1; }
+python3 - "$fleet_cmp" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if report["verdict"] != "ok" or report["regressions"]:
+    sys.exit(f"fleet compare: {report['verdict']}: "
+             f"{report['regressions']}")
+edges = report["coverage"]["final_edges"]
+print(f"fleet compare: single-process {edges['a']} -> fleet "
+      f"{edges['b']} final edges ({edges['verdict']})")
+PY
+
+echo "tier-1 + telemetry + perf + introspection + cartography + policy + timeline + fleet smoke: OK"

@@ -75,6 +75,25 @@
 //       Generate a corpus and print it in the Syzlang-like syntax
 //       (round-trips through the parser as a self-check).
 //
+//   snowplow_cli fleet coordinator [--port P] [--budget N] [--seed N]
+//                                  [--lease-slots N]
+//                                  [--lease-timeout-ms MS]
+//                                  [--policy static|thompson]
+//                                  [--timeline-out FILE.jsonl]
+//                                  [--harvest-dir DIR]
+//   snowplow_cli fleet node --connect HOST:PORT [--name S]
+//                           [--workers N] [--pmm CKPT] [--scratch DIR]
+//                           [--max-leases N] [--abandon-first 1]
+//       Distributed campaign fabric (DESIGN.md §16): the coordinator
+//       owns the virtual-time budget as re-issuable checkpoint-aligned
+//       leases and serves the fleet-wide /status, /coverage and
+//       /timeline; nodes pull leases plus fleet-corpus seed batches,
+//       run each lease as a local campaign, and push back programs,
+//       crash reports (globally deduplicated), covmap/posterior deltas
+//       and harvested training shards. The merged --timeline-out is
+//       directly diffable against a single-process campaign's with
+//       `sp_analysis compare`.
+//
 //   Every command additionally accepts --metrics-out FILE.jsonl: stream
 //   JSONL telemetry events (coverage checkpoints, mutation outcomes,
 //   inference latencies, training epochs, crash dedup decisions) to
@@ -110,6 +129,8 @@
 #include "analysis/frontier.h"
 #include "analysis/report.h"
 #include "core/directed.h"
+#include "fleet/coordinator.h"
+#include "fleet/node.h"
 #include "core/snowplow.h"
 #include "core/train.h"
 #include "data/harvest.h"
@@ -726,6 +747,133 @@ cmdCorpus(const Args &args)
     return 0;
 }
 
+int
+cmdFleet(const Args &args)
+{
+    const std::string role = args.positional(0);
+
+    if (role == "coordinator") {
+        auto kernel = makeKernel(args);
+        fleet::CoordinatorOptions opts;
+        opts.port = static_cast<uint16_t>(args.getU64("port", 0));
+        opts.budget = args.getU64("budget", 6000);
+        opts.seed = args.getU64("seed", 1);
+        opts.kernel_seed = args.getU64("seed", 2024);
+        opts.kernel_evolution =
+            static_cast<uint32_t>(args.getU64("evolution", 0));
+        opts.lease_slots = args.getU64("lease-slots", 0);
+        opts.lease_timeout_ms = args.getU64("lease-timeout-ms", 30000);
+        opts.thompson = args.get("policy", "static") == "thompson";
+        opts.covmap = args.getU64("covmap", 1) != 0;
+        opts.timeline_out = args.get("timeline-out", "");
+        opts.harvest_dir = args.get("harvest-dir", "");
+        fleet::Coordinator coordinator(kernel, opts);
+        // The scripted-fleet contract, mirroring the status server's
+        // bound-port line: drivers parse this to point their nodes.
+        std::printf("fleet coordinator listening on port %u\n",
+                    static_cast<unsigned>(coordinator.port()));
+        std::printf("fleet campaign: budget %llu, lease %llu slots, "
+                    "checkpoint every %llu\n",
+                    static_cast<unsigned long long>(opts.budget),
+                    static_cast<unsigned long long>(
+                        coordinator.leaseSlots()),
+                    static_cast<unsigned long long>(
+                        coordinator.checkpointEvery()));
+        std::fflush(stdout);
+        const bool drained = coordinator.waitUntilDrained(
+            args.getU64("drain-timeout-ms", 0));
+        coordinator.stop();
+        const fleet::CoordinatorStats stats = coordinator.stats();
+        std::printf("fleet drained: %s (watermark %llu/%llu)\n",
+                    drained ? "yes" : "TIMEOUT",
+                    static_cast<unsigned long long>(stats.watermark),
+                    static_cast<unsigned long long>(opts.budget));
+        std::printf("fleet: %llu nodes, %llu leases (%llu reclaimed, "
+                    "%llu stale results)\n",
+                    static_cast<unsigned long long>(stats.nodes_seen),
+                    static_cast<unsigned long long>(
+                        stats.leases_granted),
+                    static_cast<unsigned long long>(
+                        stats.leases_reclaimed),
+                    static_cast<unsigned long long>(
+                        stats.results_stale));
+        std::printf("fleet: %llu programs pushed (%llu deduped), "
+                    "%llu crash reports (%llu deduped), %llu shards\n",
+                    static_cast<unsigned long long>(
+                        stats.programs_pushed),
+                    static_cast<unsigned long long>(
+                        stats.programs_deduped),
+                    static_cast<unsigned long long>(
+                        stats.crashes_pushed),
+                    static_cast<unsigned long long>(
+                        stats.crashes_deduped),
+                    static_cast<unsigned long long>(
+                        stats.shards_received));
+        std::printf("final: %zu edges, %zu blocks, %zu corpus, "
+                    "%zu crashes\n",
+                    stats.edges, stats.blocks, stats.corpus_size,
+                    stats.unique_crashes);
+        if (!opts.timeline_out.empty()) {
+            std::printf("timeline: %zu samples -> %s\n",
+                        coordinator.timelineSamples(),
+                        opts.timeline_out.c_str());
+        }
+        return drained ? 0 : 1;
+    }
+
+    if (role == "node") {
+        fleet::NodeOptions opts;
+        const std::string connect =
+            args.get("connect", "127.0.0.1:0");
+        const size_t colon = connect.rfind(':');
+        if (colon == std::string::npos)
+            SP_FATAL("--connect %s: expected HOST:PORT",
+                     connect.c_str());
+        opts.host = connect.substr(0, colon);
+        opts.port = static_cast<uint16_t>(
+            std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+        opts.name = args.get("name", "node");
+        opts.workers = static_cast<size_t>(
+            std::max<uint64_t>(1, args.getU64("workers", 1)));
+        opts.pmm_path = args.get("pmm", "");
+        opts.scratch_dir = args.get("scratch", "/tmp");
+        opts.max_leases = args.getU64("max-leases", 0);
+        opts.abandon_first = args.getU64("abandon-first", 0) != 0;
+        opts.retry_ms = args.getU64("retry-ms", 50);
+        opts.connect_timeout_ms =
+            args.getU64("connect-timeout-ms", 5000);
+        const fleet::NodeStats stats = fleet::runNode(opts);
+        std::printf("node %s: %llu leases, %llu execs, %llu programs, "
+                    "%llu crash reports%s\n",
+                    opts.name.c_str(),
+                    static_cast<unsigned long long>(stats.leases),
+                    static_cast<unsigned long long>(stats.execs),
+                    static_cast<unsigned long long>(
+                        stats.programs_sent),
+                    static_cast<unsigned long long>(stats.crashes_sent),
+                    stats.done ? " (campaign drained)" : "");
+        if (!stats.error.empty()) {
+            std::fprintf(stderr, "node %s: %s\n", opts.name.c_str(),
+                         stats.error.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "usage: snowplow_cli fleet coordinator [--port P] "
+                 "[--budget N] [--seed N]\n"
+                 "           [--lease-slots N] [--lease-timeout-ms MS] "
+                 "[--policy static|thompson]\n"
+                 "           [--timeline-out FILE.jsonl] "
+                 "[--harvest-dir DIR] [--drain-timeout-ms MS]\n"
+                 "       snowplow_cli fleet node --connect HOST:PORT "
+                 "[--name S] [--workers N]\n"
+                 "           [--pmm CKPT] [--scratch DIR] "
+                 "[--max-leases N] [--abandon-first 1]\n");
+    return 2;
+}
+
 }  // namespace
 
 int
@@ -745,6 +893,8 @@ dispatch(const std::string &command, const Args &args)
         return cmdAnalyze(args);
     if (command == "corpus")
         return cmdCorpus(args);
+    if (command == "fleet")
+        return cmdFleet(args);
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;
 }
@@ -756,7 +906,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: snowplow_cli "
                      "<kernel-stats|fuzz|train|dataset|directed|"
-                     "analyze|corpus> "
+                     "analyze|corpus|fleet> "
                      "[--flag value]... [--metrics-out FILE.jsonl]\n"
                      "       [--trace-out FILE.json] [--trace-sample "
                      "1/64] [--status-port P] [--status-hold 1]\n"

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The fabric node: connects to a coordinator, mirrors the campaign
+ * config from the HelloAck (kernel identity verified by fingerprint),
+ * then pulls budget leases and runs each as a local CampaignEngine
+ * campaign — seeded by the coordinator's fleet-corpus batch — and
+ * pushes back everything the lease produced (new-coverage programs,
+ * crashes, covmap deltas, policy posterior deltas, harvested training
+ * shards) in one atomic LeaseResult.
+ *
+ * A node is stateless between leases on purpose: every lease campaign
+ * is a deterministic function of (lease seed, seed batch, config), so
+ * a lease lost to a crash or disconnect is simply re-issued by the
+ * coordinator and re-run — possibly elsewhere — with a fresh seed
+ * stream.
+ */
+#ifndef SP_FLEET_NODE_H
+#define SP_FLEET_NODE_H
+
+#include <cstdint>
+#include <string>
+
+#include "fleet/wire.h"
+
+namespace sp::fleet {
+
+struct NodeOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string name = "node";    ///< fleet-unique (reconnect identity)
+    size_t workers = 1;           ///< campaign workers per lease
+    std::string pmm_path;         ///< PMM checkpoint; empty = baseline
+    /** Harvest scratch root (per-node subdirectory created inside). */
+    std::string scratch_dir = "/tmp";
+    uint64_t max_leases = 0;      ///< stop after N leases; 0 = drain
+    /**
+     * Fault-injection for lease-reclaim tests: take one grant, then
+     * drop the connection without running or reporting it.
+     */
+    bool abandon_first = false;
+    uint64_t retry_ms = 50;       ///< idle wait when no lease available
+    uint64_t connect_timeout_ms = 5000;
+};
+
+struct NodeStats
+{
+    uint64_t leases = 0;          ///< leases completed (acked)
+    uint64_t execs = 0;           ///< local executions across leases
+    uint64_t programs_sent = 0;
+    uint64_t crashes_sent = 0;
+    uint64_t accepted = 0;        ///< results the coordinator accepted
+    uint64_t stale = 0;           ///< results dropped as stale
+    bool done = false;            ///< saw the coordinator's done grant
+    std::string error;            ///< empty = clean run
+};
+
+/**
+ * Run one node to completion: until the coordinator reports the
+ * campaign drained, `max_leases` is reached, or an error ends the
+ * conversation (recorded in NodeStats::error).
+ */
+NodeStats runNode(const NodeOptions &opts);
+
+}  // namespace sp::fleet
+
+#endif  // SP_FLEET_NODE_H

@@ -353,6 +353,14 @@ seedStage(WorkerEnv &env, const kern::Kernel &kernel)
     // as one unit of pipeline work.
     obs::TraceScope trace(obs::beginTrace());
     boardStage(env, obs::WorkerStage::Seed);
+    // Injected seeds (fleet seed batches) run before the generated
+    // corpus: they bootstrap the local corpus with fleet-wide coverage
+    // so the generated seeds and every mutation round build on it.
+    // Empty in every non-fleet campaign, leaving this stage — and the
+    // golden timelines pinned on it — untouched.
+    for (const auto &seed : opts.injected_seeds)
+        executeSlot(env, seed, MutationLane::Seed, nullptr,
+                    /*bounded=*/false, /*arm=*/-1);
     std::vector<prog::Prog> seeds;
     {
         obs::TraceSpan span(obs::SpanKind::Seed, opts.seed_corpus_size);

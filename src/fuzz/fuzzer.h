@@ -43,6 +43,13 @@ struct FuzzOptions
 {
     uint64_t exec_budget = 50000;     ///< program executions ("time")
     size_t seed_corpus_size = 40;
+    /**
+     * Programs executed ahead of the generated seed corpus (the fleet
+     * coordinator's seed batches enter a node's lease campaign here).
+     * Empty — the default — leaves the seed stage byte-for-byte the
+     * legacy generate-and-execute path.
+     */
+    std::vector<prog::Prog> injected_seeds;
     uint64_t seed = 1;
     bool noisy = true;                ///< nondeterministic execution
     uint64_t checkpoint_every = 500;  ///< coverage timeline grid

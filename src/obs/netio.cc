@@ -1,0 +1,117 @@
+#include "obs/netio.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace sp::obs {
+
+TcpListener::TcpListener(uint16_t port, int backlog)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        SP_FATAL("tcp listener: socket() failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        SP_FATAL("tcp listener: cannot bind 127.0.0.1:%u",
+                 static_cast<unsigned>(port));
+    }
+    if (::listen(fd, backlog) != 0)
+        SP_FATAL("tcp listener: listen() failed");
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    fd_.store(fd, std::memory_order_release);
+}
+
+TcpListener::~TcpListener()
+{
+    close();
+}
+
+int
+TcpListener::acceptConnection()
+{
+    return ::accept(fd(), nullptr, nullptr);
+}
+
+void
+TcpListener::unblock()
+{
+    // shutdown() on an already-closed (-1) descriptor is a harmless
+    // EBADF; the owner loop may have closed concurrently.
+    ::shutdown(fd(), SHUT_RDWR);
+}
+
+void
+TcpListener::close()
+{
+    const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0)
+        ::close(fd);
+}
+
+int
+connectTcp(const std::string &host, uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const void *data, size_t len)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n =
+            ::send(fd, bytes + sent, len - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+size_t
+recvAll(int fd, void *data, size_t len)
+{
+    auto *bytes = static_cast<unsigned char *>(data);
+    size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd, bytes + got, len - got, 0);
+        if (n <= 0)
+            break;
+        got += static_cast<size_t>(n);
+    }
+    return got;
+}
+
+}  // namespace sp::obs

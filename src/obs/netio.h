@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Dependency-free POSIX TCP plumbing shared by the introspection
+ * server (statusd.h) and the distributed campaign fabric (src/fleet).
+ *
+ * A TcpListener binds 127.0.0.1 — every consumer here is a loopback
+ * control surface, not a public endpoint — and reports the actually
+ * bound port, so port 0 gives callers an ephemeral port they can
+ * discover through port(). Shutdown follows the statusd discipline:
+ * one thread owns the accept loop and close(); any other thread may
+ * only shutdown() to unblock it (closing from outside would race a
+ * concurrent accept() against fd-number reuse). The descriptor itself
+ * is atomic so that cross-thread unblock() and the owner's close()
+ * never race on the field.
+ */
+#ifndef SP_OBS_NETIO_H
+#define SP_OBS_NETIO_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sp::obs {
+
+/** A bound + listening TCP socket on 127.0.0.1. */
+class TcpListener
+{
+  public:
+    /**
+     * Bind 127.0.0.1:`port` (0 = ephemeral) and listen. SP_FATALs
+     * when the socket cannot be bound — callers treat an unusable
+     * control surface as a configuration error.
+     */
+    explicit TcpListener(uint16_t port, int backlog = 16);
+
+    /** Closes the socket if the owner loop never did. */
+    ~TcpListener();
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** The bound port (the ephemeral pick when constructed with 0). */
+    uint16_t port() const { return port_; }
+
+    int fd() const { return fd_.load(std::memory_order_acquire); }
+
+    /** Blocking accept(); returns -1 on failure (e.g. after unblock). */
+    int acceptConnection();
+
+    /** Unblock a concurrent acceptConnection() from another thread. */
+    void unblock();
+
+    /** Close the listening socket (accept-loop owner only). */
+    void close();
+
+  private:
+    std::atomic<int> fd_{-1};
+    uint16_t port_ = 0;
+};
+
+/**
+ * Blocking connect to host:port. Returns the connected fd, or -1.
+ * `host` must be a dotted-quad IPv4 literal (the fabric is loopback /
+ * explicit-address only; no resolver dependency).
+ */
+int connectTcp(const std::string &host, uint16_t port);
+
+/**
+ * Write exactly `len` bytes (MSG_NOSIGNAL; a dead peer returns false
+ * instead of raising SIGPIPE). False on any short write.
+ */
+bool sendAll(int fd, const void *data, size_t len);
+
+/**
+ * Read exactly `len` bytes. Returns `len` on success, 0 on clean EOF
+ * before the first byte, and the partial count (< len) when the
+ * stream ended or errored mid-read — the torn-frame case protocol
+ * code must treat as malformed, not as EOF.
+ */
+size_t recvAll(int fd, void *data, size_t len);
+
+}  // namespace sp::obs
+
+#endif  // SP_OBS_NETIO_H

@@ -1,7 +1,5 @@
 #include "obs/statusd.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -9,8 +7,8 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/netio.h"
 #include "obs/trace.h"
-#include "util/logging.h"
 
 namespace sp::obs {
 
@@ -56,19 +54,6 @@ httpResponse(const char *status, const char *content_type,
     out += "\r\nConnection: close\r\n\r\n";
     out += body;
     return out;
-}
-
-void
-sendAll(int fd, const std::string &data)
-{
-    size_t sent = 0;
-    while (sent < data.size()) {
-        const ssize_t n =
-            ::send(fd, data.data() + sent, data.size() - sent, 0);
-        if (n <= 0)
-            return;
-        sent += static_cast<size_t>(n);
-    }
 }
 
 }  // namespace
@@ -117,32 +102,8 @@ renderPrometheus()
     return out;
 }
 
-StatusServer::StatusServer(uint16_t port)
+StatusServer::StatusServer(uint16_t port) : listener_(port)
 {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0)
-        SP_FATAL("status server: socket() failed");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0) {
-        SP_FATAL("status server: cannot bind 127.0.0.1:%u",
-                 static_cast<unsigned>(port));
-    }
-    if (::listen(listen_fd_, 16) != 0)
-        SP_FATAL("status server: listen() failed");
-
-    socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
-                  &len);
-    port_ = ntohs(addr.sin_port);
-
     claimIntrospection();
     thread_ = std::thread([this] { serveLoop(); });
 }
@@ -156,7 +117,7 @@ StatusServer::~StatusServer()
     // unrelated descriptor. stopping_ is set *after* the shutdown so
     // the loop's close is ordered strictly behind it (release/acquire
     // on stopping_).
-    ::shutdown(listen_fd_, SHUT_RDWR);
+    listener_.unblock();
     stopping_.store(true, std::memory_order_release);
     if (thread_.joinable())
         thread_.join();
@@ -167,10 +128,10 @@ void
 StatusServer::serveLoop()
 {
     for (;;) {
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        const int fd = listener_.acceptConnection();
         if (fd < 0) {
             if (stopping_.load(std::memory_order_acquire)) {
-                ::close(listen_fd_);
+                listener_.close();
                 return;
             }
             // Transient accept failure while live; after shutdown()
@@ -223,7 +184,7 @@ StatusServer::serveLoop()
         // Counted before the reply: a client that saw its response
         // complete must observe the incremented count.
         requests_.fetch_add(1, std::memory_order_release);
-        sendAll(fd, response);
+        sendAll(fd, response.data(), response.size());
         ::close(fd);
     }
 }

@@ -30,6 +30,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/netio.h"
+
 namespace sp::obs {
 
 /**
@@ -57,7 +59,7 @@ class StatusServer
     StatusServer &operator=(const StatusServer &) = delete;
 
     /** The bound port (the ephemeral pick when constructed with 0). */
-    uint16_t port() const { return port_; }
+    uint16_t port() const { return listener_.port(); }
 
     /** Requests served so far (tests). */
     uint64_t requestsServed() const
@@ -69,9 +71,8 @@ class StatusServer
     void serveLoop();
 
     /** Closed by serveLoop after it observes stopping_ (never by the
-     *  destructor, which only shutdown()s — see ~StatusServer). */
-    int listen_fd_ = -1;
-    uint16_t port_ = 0;
+     *  destructor, which only unblock()s — see ~StatusServer). */
+    TcpListener listener_;
     std::atomic<bool> stopping_{false};
     std::atomic<uint64_t> requests_{0};
     std::thread thread_;
